@@ -1,0 +1,224 @@
+//! Differential testing: the parallel engine vs the independent
+//! single-threaded reference interpreter on randomized inputs.
+//!
+//! The two implementations share no planner or evaluator code, so
+//! agreement across random graphs, strategies and worker counts is the
+//! strongest correctness evidence in this repository.
+
+use dcd_baselines::Reference;
+use dcdatalog::{queries, Engine, EngineConfig, Strategy, Tuple};
+use proptest::prelude::*;
+
+fn edges_strategy(max_v: i64, max_e: usize) -> impl proptest::strategy::Strategy<Value = Vec<(i64, i64)>> {
+    proptest::collection::vec((0..max_v, 0..max_v), 0..max_e)
+}
+
+fn run_engine(
+    program: dcdatalog::Program,
+    loads: &[(&str, Vec<Tuple>)],
+    workers: usize,
+    strategy: Strategy,
+) -> Vec<(String, Vec<Tuple>)> {
+    let cfg = EngineConfig::with_workers(workers).strategy(strategy);
+    let mut e = Engine::new(program, cfg).unwrap();
+    for (name, rows) in loads {
+        e.load_edb(name, rows.clone()).unwrap();
+    }
+    let r = e.run().unwrap();
+    r.relation_names()
+        .into_iter()
+        .map(|n| (n.to_string(), r.sorted(n)))
+        .collect()
+}
+
+fn to_tuples(edges: &[(i64, i64)]) -> Vec<Tuple> {
+    edges.iter().map(|&(a, b)| Tuple::from_ints(&[a, b])).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tc_matches_reference(edges in edges_strategy(12, 40), workers in 1usize..4) {
+        let mut reference = Reference::new(queries::TC).unwrap();
+        reference.load_edges("arc", &edges);
+        let expected = reference.run().unwrap();
+        for strat in [Strategy::Global, Strategy::Dws] {
+            let got = run_engine(
+                queries::tc().unwrap(),
+                &[("arc", to_tuples(&edges))],
+                workers,
+                strat,
+            );
+            prop_assert_eq!(&got[0].1, &expected["tc"], "workers={}", workers);
+        }
+    }
+
+    #[test]
+    fn cc_matches_reference(edges in edges_strategy(10, 30), workers in 1usize..4) {
+        let sym = dcd_datagen::symmetrize(&edges);
+        let mut reference = Reference::new(queries::CC).unwrap();
+        reference.load_edges("arc", &sym);
+        let expected = reference.run().unwrap();
+        for strat in [Strategy::Global, Strategy::Ssp { s: 1 }, Strategy::Dws] {
+            let got = run_engine(
+                queries::cc().unwrap(),
+                &[("arc", to_tuples(&sym))],
+                workers,
+                strat,
+            );
+            let cc = got.iter().find(|(n, _)| n == "cc").unwrap();
+            prop_assert_eq!(&cc.1, &expected["cc"]);
+        }
+    }
+
+    #[test]
+    fn sssp_matches_reference(
+        edges in proptest::collection::vec((0..10i64, 0..10i64, 1..20i64), 0..30),
+        workers in 1usize..4,
+    ) {
+        let rows: Vec<Tuple> = edges.iter().map(|&(a, b, w)| Tuple::from_ints(&[a, b, w])).collect();
+        let mut reference = Reference::new(queries::SSSP).unwrap().with_param("start", 0i64);
+        reference.load("warc", rows.clone());
+        let expected = reference.run().unwrap();
+        let got = run_engine(
+            queries::sssp(0).unwrap(),
+            &[("warc", rows)],
+            workers,
+            Strategy::Dws,
+        );
+        let results = got.iter().find(|(n, _)| n == "results").unwrap();
+        prop_assert_eq!(&results.1, &expected["results"]);
+    }
+
+    #[test]
+    fn apsp_matches_reference(
+        edges in proptest::collection::vec((0..7i64, 0..7i64, 1..10i64), 0..15),
+        workers in 1usize..4,
+    ) {
+        let rows: Vec<Tuple> = edges.iter().map(|&(a, b, w)| Tuple::from_ints(&[a, b, w])).collect();
+        let mut reference = Reference::new(queries::APSP).unwrap();
+        reference.load("warc", rows.clone());
+        let expected = reference.run().unwrap();
+        for broadcast in [false, true] {
+            let mut cfg = EngineConfig::with_workers(workers);
+            cfg.broadcast_routing = broadcast;
+            let mut e = Engine::new(queries::apsp().unwrap(), cfg).unwrap();
+            e.load_edb("warc", rows.clone()).unwrap();
+            let r = e.run().unwrap();
+            prop_assert_eq!(&r.sorted("apsp"), &expected["apsp"], "broadcast={}", broadcast);
+        }
+    }
+
+    #[test]
+    fn sg_matches_reference(edges in edges_strategy(9, 16), workers in 1usize..4) {
+        let mut reference = Reference::new(queries::SG).unwrap();
+        reference.load_edges("arc", &edges);
+        let expected = reference.run().unwrap();
+        let got = run_engine(
+            queries::sg().unwrap(),
+            &[("arc", to_tuples(&edges))],
+            workers,
+            Strategy::Dws,
+        );
+        prop_assert_eq!(&got[0].1, &expected["sg"]);
+    }
+
+    #[test]
+    fn delivery_matches_reference(
+        assbl in edges_strategy(8, 12),
+        basic in proptest::collection::vec((0..8i64, 1..30i64), 1..8),
+        workers in 1usize..4,
+    ) {
+        // `assbl` must be acyclic for Delivery to terminate: keep only
+        // parent < child edges.
+        let dag: Vec<(i64, i64)> = assbl.into_iter().filter(|&(p, s)| p < s).collect();
+        let basic_rows: Vec<Tuple> = basic.iter().map(|&(p, d)| Tuple::from_ints(&[p, d])).collect();
+        let mut reference = Reference::new(queries::DELIVERY).unwrap();
+        reference.load_edges("assbl", &dag);
+        reference.load("basic", basic_rows.clone());
+        let expected = reference.run().unwrap();
+        let got = run_engine(
+            queries::delivery().unwrap(),
+            &[("assbl", to_tuples(&dag)), ("basic", basic_rows)],
+            workers,
+            Strategy::Dws,
+        );
+        let results = got.iter().find(|(n, _)| n == "results").unwrap();
+        prop_assert_eq!(&results.1, &expected["results"]);
+    }
+
+    #[test]
+    fn attend_matches_reference(
+        organizers in proptest::collection::vec(0..6i64, 1..4),
+        friends in edges_strategy(12, 25),
+        workers in 1usize..4,
+    ) {
+        let orgs: Vec<Tuple> = {
+            let mut o = organizers.clone();
+            o.sort_unstable();
+            o.dedup();
+            o.iter().map(|&x| Tuple::from_ints(&[x])).collect()
+        };
+        let mut reference = Reference::new(queries::ATTEND).unwrap().with_param("threshold", 2i64);
+        reference.load("organizer", orgs.clone());
+        reference.load_edges("friend", &friends);
+        let expected = reference.run().unwrap();
+        let got = run_engine(
+            queries::attend(2).unwrap(),
+            &[("organizer", orgs), ("friend", to_tuples(&friends))],
+            workers,
+            Strategy::Dws,
+        );
+        let attend = got.iter().find(|(n, _)| n == "attend").unwrap();
+        prop_assert_eq!(&attend.1, &expected["attend"]);
+    }
+}
+
+/// A deterministic, larger differential check (not proptest-sized) so CI
+/// exercises a non-trivial fixpoint depth.
+#[test]
+fn tc_on_rmat_graph_matches_reference() {
+    let edges = dcd_datagen::rmat_with(64, 150, 99);
+    let mut reference = Reference::new(queries::TC).unwrap();
+    reference.load_edges("arc", &edges);
+    let expected = reference.run().unwrap();
+    for workers in [1, 3, 8] {
+        for strat in [Strategy::Global, Strategy::Ssp { s: 3 }, Strategy::Dws] {
+            let got = run_engine(
+                queries::tc().unwrap(),
+                &[("arc", to_tuples(&edges))],
+                workers,
+                strat,
+            );
+            assert_eq!(got[0].1, expected["tc"], "workers={workers}");
+        }
+    }
+}
+
+#[test]
+fn pagerank_totals_match_reference_within_epsilon() {
+    let edges = dcd_datagen::rmat_with(32, 100, 5);
+    let n = dcd_datagen::vertex_count(&edges);
+    let matrix = dcd_datagen::pagerank_matrix(&edges);
+    let mut reference = Reference::new(queries::PAGERANK)
+        .unwrap()
+        .with_param("alpha", 0.85)
+        .with_param("vnum", n as f64);
+    reference.sum_epsilon = 1e-10;
+    reference.load("matrix", matrix.clone());
+    let expected = reference.run().unwrap();
+    let mut cfg = EngineConfig::with_workers(4);
+    cfg.sum_epsilon = 1e-10;
+    let mut e = Engine::new(queries::pagerank(0.85, n).unwrap(), cfg).unwrap();
+    e.load_edb("matrix", matrix).unwrap();
+    let r = e.run().unwrap();
+    let got = r.sorted("results");
+    let want = &expected["results"];
+    assert_eq!(got.len(), want.len());
+    for (g, w) in got.iter().zip(want) {
+        assert_eq!(g.values()[0], w.values()[0]);
+        let dv = (g.values()[1].as_f64() - w.values()[1].as_f64()).abs();
+        assert!(dv < 1e-6, "rank mismatch: {g:?} vs {w:?}");
+    }
+}

@@ -1,0 +1,68 @@
+//! `repro` — regenerates every table and figure of the paper's §7.
+//!
+//! ```text
+//! repro [EXPERIMENTS] [--scale N] [--workers N] [--timeout SECS]
+//!       [--reps N] [--apsp-max N]
+//!
+//! EXPERIMENTS: any of fig1 fig3 tab2 tab3 tab4 fig8 fig9a fig9b all
+//!              (default: all)
+//! --scale N    dataset scale divisor (default 20000; smaller = bigger
+//!              datasets; 1 = paper size)
+//! --workers N  engine threads (default: available parallelism)
+//! ```
+
+use dcd_bench::experiments::{self, Opts};
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Opts::default();
+    let mut which: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let mut numeric = |name: &str| -> usize {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name} needs a numeric argument"))
+        };
+        match a.as_str() {
+            "--scale" => opts.scale = numeric("--scale").max(1),
+            "--workers" => opts.workers = numeric("--workers").max(1),
+            "--timeout" => opts.timeout = Duration::from_secs(numeric("--timeout") as u64),
+            "--reps" => opts.reps = numeric("--reps").max(1),
+            "--apsp-max" => opts.apsp_max = numeric("--apsp-max"),
+            "--help" | "-h" => {
+                println!("usage: repro [fig1|fig3|tab2|tab3|tab4|fig8|fig9a|fig9b|all]* [--scale N] [--workers N] [--timeout SECS] [--reps N] [--apsp-max N]");
+                return;
+            }
+            other => which.push(other.to_string()),
+        }
+    }
+    if which.is_empty() || which.iter().any(|w| w == "all") {
+        which = ["fig1", "fig3", "tab2", "tab3", "tab4", "fig8", "fig9a", "fig9b"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+    println!(
+        "DCDatalog reproduction harness — scale 1/{}, {} workers, timeout {:?}",
+        opts.scale, opts.workers, opts.timeout
+    );
+    for w in which {
+        let report = match w.as_str() {
+            "fig1" => experiments::fig1(&opts),
+            "fig3" => experiments::fig3(&opts),
+            "tab2" => experiments::tab2(&opts),
+            "tab3" => experiments::tab3(&opts),
+            "tab4" => experiments::tab4(&opts),
+            "fig8" => experiments::fig8(&opts),
+            "fig9a" => experiments::fig9a(&opts),
+            "fig9b" => experiments::fig9b(&opts),
+            other => {
+                eprintln!("unknown experiment '{other}' (try --help)");
+                continue;
+            }
+        };
+        print!("{report}");
+    }
+}

@@ -1,0 +1,218 @@
+//! Experiment workloads (paper §7.1.1), scaled by a divisor so the full
+//! suite runs on a laptop. `scale = 1` would be the paper's sizes; the
+//! repro default (see the `repro` binary) keeps every run in seconds.
+
+use dcd_common::Tuple;
+use dcd_datagen as gen;
+
+/// Base seed for every dataset (change to resample everything).
+pub const SEED: u64 = 0xDC_DA7A;
+
+/// A named dataset ready to load.
+pub struct Dataset {
+    /// Display name matching the paper's tables.
+    pub name: &'static str,
+    /// EDB loads.
+    pub loads: Vec<(String, Vec<Tuple>)>,
+}
+
+fn edge_tuples(edges: &[(i64, i64)]) -> Vec<Tuple> {
+    edges.iter().map(|&(a, b)| Tuple::from_ints(&[a, b])).collect()
+}
+
+fn wedge_tuples(edges: &[(i64, i64, i64)]) -> Vec<Tuple> {
+    edges
+        .iter()
+        .map(|&(a, b, w)| Tuple::from_ints(&[a, b, w]))
+        .collect()
+}
+
+/// The four web-graph stand-ins (CC / SSSP / PageRank experiments).
+/// `scale` divides the original vertex/edge counts.
+pub fn webgraphs(scale: usize) -> Vec<(&'static str, Vec<(i64, i64)>)> {
+    vec![
+        ("LiveJournal", gen::livejournal_like(scale, SEED)),
+        ("Orkut", gen::orkut_like(scale, SEED)),
+        ("Arabic", gen::arabic_like(scale, SEED)),
+        ("Twitter", gen::twitter_like(scale, SEED)),
+    ]
+}
+
+/// CC inputs: symmetrized web graphs.
+pub fn cc_datasets(scale: usize) -> Vec<Dataset> {
+    webgraphs(scale)
+        .into_iter()
+        .map(|(name, edges)| Dataset {
+            name,
+            loads: vec![("arc".into(), edge_tuples(&gen::symmetrize(&edges)))],
+        })
+        .collect()
+}
+
+/// SSSP inputs: weighted web graphs (weights 1..=100). The start vertex
+/// is 0 (present in every RMAT stand-in).
+pub fn sssp_datasets(scale: usize) -> Vec<Dataset> {
+    webgraphs(scale)
+        .into_iter()
+        .map(|(name, edges)| Dataset {
+            name,
+            loads: vec![(
+                "warc".into(),
+                wedge_tuples(&gen::weighted(&edges, 100, SEED)),
+            )],
+        })
+        .collect()
+}
+
+/// PageRank inputs: `matrix(Y, X, outdeg(Y))` rows plus the vertex count
+/// needed for the `vnum` parameter.
+pub fn pagerank_datasets(scale: usize) -> Vec<(Dataset, usize)> {
+    webgraphs(scale)
+        .into_iter()
+        .map(|(name, edges)| {
+            let n = gen::vertex_count(&edges);
+            (
+                Dataset {
+                    name,
+                    loads: vec![("matrix".into(), gen::pagerank_matrix(&edges))],
+                },
+                n,
+            )
+        })
+        .collect()
+}
+
+/// SG inputs: Tree-h plus G-n plus the RMAT family. `scale` shrinks the
+/// paper's Tree-11 / G-10K / RMAT-10K..40K proportionally (scale 8 ⇒
+/// Tree-8, G-1250 with matched density, RMAT-1.25K..5K).
+pub fn sg_datasets(scale: usize) -> Vec<Dataset> {
+    let tree_h = 11usize.saturating_sub((scale as f64).log2().round() as usize).max(4);
+    let gn = (10_000 / scale).max(64);
+    // G-10K uses p = 0.001 (avg degree 10); keep the density.
+    let p = (10.0 / gn as f64).min(0.5);
+    let mut out = vec![
+        Dataset {
+            name: "Tree-11",
+            loads: vec![("arc".into(), edge_tuples(&gen::tree(tree_h, SEED)))],
+        },
+        Dataset {
+            name: "G-10K",
+            loads: vec![("arc".into(), edge_tuples(&gen::gnp(gn, p, SEED)))],
+        },
+    ];
+    for (name, n) in [
+        ("RMAT-10K", 10_000usize),
+        ("RMAT-20K", 20_000),
+        ("RMAT-40K", 40_000),
+    ] {
+        let scaled = (n / scale).max(64);
+        out.push(Dataset {
+            name,
+            loads: vec![("arc".into(), edge_tuples(&gen::rmat(scaled, SEED)))],
+        });
+    }
+    out
+}
+
+/// Delivery inputs: N-40M … N-300M scaled.
+pub fn delivery_datasets(scale: usize) -> Vec<Dataset> {
+    [
+        ("N-40M", 40_000_000usize),
+        ("N-80M", 80_000_000),
+        ("N-160M", 160_000_000),
+        ("N-300M", 300_000_000),
+    ]
+    .into_iter()
+    .map(|(name, n)| {
+        let scaled = (n / scale).max(1_000);
+        let assbl = gen::n_tree(scaled, SEED);
+        let basic = gen::trees::leaf_days(&assbl, 30, SEED);
+        Dataset {
+            name,
+            loads: vec![
+                ("assbl".into(), edge_tuples(&assbl)),
+                ("basic".into(), edge_tuples(&basic)),
+            ],
+        }
+    })
+    .collect()
+}
+
+/// APSP inputs: the paper's RMAT-256 … RMAT-4K ladder, capped by `max_n`.
+pub fn apsp_datasets(max_n: usize) -> Vec<Dataset> {
+    [
+        ("RMAT-256", 256usize),
+        ("RMAT-512", 512),
+        ("RMAT-1K", 1_024),
+        ("RMAT-2K", 2_048),
+        ("RMAT-4K", 4_096),
+    ]
+    .into_iter()
+    .filter(|&(_, n)| n <= max_n)
+    .map(|(name, n)| Dataset {
+        name,
+        loads: vec![(
+            "warc".into(),
+            wedge_tuples(&gen::weighted(&gen::rmat(n, SEED), 100, SEED)),
+        )],
+    })
+    .collect()
+}
+
+/// Figure 9(b) data-scaling ladder: RMAT-(10M…160M)/scale.
+pub fn scaling_datasets(scale: usize) -> Vec<(String, Vec<(i64, i64)>)> {
+    [10usize, 20, 40, 80, 160]
+        .into_iter()
+        .map(|m| {
+            let n = (m * 1_000_000 / scale).max(1_000);
+            (format!("RMAT-{m}M"), gen::rmat(n, SEED))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn webgraphs_have_four_entries_in_size_order_by_scale() {
+        let g = webgraphs(50_000);
+        assert_eq!(g.len(), 4);
+        assert!(g[0].1.len() < g[3].1.len(), "Twitter-like is the largest");
+    }
+
+    #[test]
+    fn sg_datasets_cover_the_five_rows() {
+        let d = sg_datasets(16);
+        let names: Vec<&str> = d.iter().map(|d| d.name).collect();
+        assert_eq!(
+            names,
+            vec!["Tree-11", "G-10K", "RMAT-10K", "RMAT-20K", "RMAT-40K"]
+        );
+        for ds in &d {
+            assert!(!ds.loads[0].1.is_empty());
+        }
+    }
+
+    #[test]
+    fn apsp_cap_filters() {
+        assert_eq!(apsp_datasets(1024).len(), 3);
+        assert_eq!(apsp_datasets(4096).len(), 5);
+    }
+
+    #[test]
+    fn delivery_datasets_scale_down() {
+        let d = delivery_datasets(10_000);
+        assert_eq!(d.len(), 4);
+        let small = d[0].loads[0].1.len();
+        let large = d[3].loads[0].1.len();
+        assert!(large > small);
+    }
+
+    #[test]
+    fn pagerank_datasets_supply_vertex_counts() {
+        for (ds, n) in pagerank_datasets(100_000) {
+            assert!(n > 0, "{} has no vertices", ds.name);
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Benchmark harness for the DCDatalog reproduction.
+//!
+//! [`harness`] times engine/baseline runs with timeout handling (the
+//! paper's `TO` entries); [`datasets`] builds the workload for every
+//! experiment; [`paper`] records the paper-reported numbers so the
+//! `repro` binary can print measured-vs-paper tables; [`experiments`]
+//! implements one function per table/figure of §7.
+
+pub mod datasets;
+pub mod experiments;
+pub mod harness;
+pub mod paper;

@@ -1,0 +1,11 @@
+#![warn(missing_docs)]
+//! Library backing the `dcdatalog` command-line tool: argument parsing,
+//! delimited-file loading and run orchestration, factored out of `main`
+//! so everything is unit-testable.
+
+pub mod args;
+pub mod loader;
+pub mod runner;
+
+pub use args::{Cli, Command};
+pub use runner::run_cli;

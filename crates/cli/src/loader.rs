@@ -1,0 +1,113 @@
+//! Delimited-file loading: whitespace-, comma- or tab-separated rows of
+//! integers/floats, with `#` and `%` line comments.
+
+use dcd_common::{DcdError, Result, Tuple, Value};
+use std::io::BufRead;
+use std::path::Path;
+
+/// Parses one line into values (empty ⇒ `None`).
+fn parse_line(line: &str, lineno: usize, path: &str) -> Result<Option<Tuple>> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+        return Ok(None);
+    }
+    let mut vals = Vec::new();
+    for field in line.split(|c: char| c == ',' || c == '\t' || c == ' ') {
+        let field = field.trim();
+        if field.is_empty() {
+            continue;
+        }
+        let v = if let Ok(i) = field.parse::<i64>() {
+            Value::Int(i)
+        } else if let Ok(f) = field.parse::<f64>() {
+            Value::Float(f)
+        } else {
+            return Err(DcdError::Execution(format!(
+                "{path}:{lineno}: '{field}' is not a number"
+            )));
+        };
+        vals.push(v);
+    }
+    if vals.is_empty() {
+        return Ok(None);
+    }
+    Ok(Some(Tuple::new(&vals)))
+}
+
+/// Reads a whole file of rows.
+pub fn load_file(path: &Path) -> Result<Vec<Tuple>> {
+    let file = std::fs::File::open(path).map_err(|e| {
+        DcdError::Execution(format!("cannot open '{}': {e}", path.display()))
+    })?;
+    let reader = std::io::BufReader::new(file);
+    let mut rows = Vec::new();
+    let display = path.display().to_string();
+    for (i, line) in reader.lines().enumerate() {
+        let line =
+            line.map_err(|e| DcdError::Execution(format!("{display}:{}: {e}", i + 1)))?;
+        if let Some(t) = parse_line(&line, i + 1, &display)? {
+            rows.push(t);
+        }
+    }
+    Ok(rows)
+}
+
+/// Parses rows from an in-memory string (testing and stdin support).
+pub fn load_str(content: &str, name: &str) -> Result<Vec<Tuple>> {
+    let mut rows = Vec::new();
+    for (i, line) in content.lines().enumerate() {
+        if let Some(t) = parse_line(line, i + 1, name)? {
+            rows.push(t);
+        }
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_delimiters_and_comments() {
+        let rows = load_str(
+            "# a comment\n1, 2\n3\t4\n5 6\n% another\n\n7,  8\n",
+            "test",
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0], Tuple::from_ints(&[1, 2]));
+        assert_eq!(rows[3], Tuple::from_ints(&[7, 8]));
+    }
+
+    #[test]
+    fn floats_and_negatives() {
+        let rows = load_str("1 -2 0.5\n", "test").unwrap();
+        assert_eq!(
+            rows[0],
+            Tuple::new(&[Value::Int(1), Value::Int(-2), Value::Float(0.5)])
+        );
+    }
+
+    #[test]
+    fn bad_field_reports_position() {
+        let e = load_str("1 2\n3 oops\n", "data.csv").unwrap_err();
+        assert!(e.to_string().contains("data.csv:2"), "{e}");
+        assert!(e.to_string().contains("oops"));
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let e = load_file(Path::new("/nonexistent/nowhere.csv")).unwrap_err();
+        assert!(e.to_string().contains("cannot open"));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("dcd_cli_loader_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("edges.csv");
+        std::fs::write(&p, "1,2\n2,3\n").unwrap();
+        let rows = load_file(&p).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+}

@@ -1,0 +1,17 @@
+//! The `dcdatalog` command-line tool. See `dcd_cli::args::USAGE`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match dcd_cli::Cli::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let mut stdout = std::io::stdout().lock();
+    if let Err(e) = dcd_cli::run_cli(&cli, &mut stdout) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,177 @@
+//! Orchestrates a CLI invocation: parse program, load data, run, print.
+
+use crate::args::{Cli, Command};
+use crate::loader::load_file;
+use dcd_common::Result;
+use dcdatalog::{Engine, EngineConfig, Program};
+use std::io::Write;
+use std::path::Path;
+
+/// Executes the parsed CLI against `out` (stdout in `main`).
+pub fn run_cli(cli: &Cli, out: &mut impl Write) -> Result<()> {
+    let src = std::fs::read_to_string(&cli.program).map_err(|e| {
+        dcd_common::DcdError::Execution(format!("cannot read '{}': {e}", cli.program))
+    })?;
+    let mut program = Program::parse(&src)?;
+    for (name, value) in &cli.params {
+        program = program.with_param(name, *value);
+    }
+    let mut cfg = EngineConfig::default();
+    if let Some(w) = cli.workers {
+        cfg.workers = w.max(1);
+    }
+    cfg.strategy = cli.strategy.clone();
+    cfg.timeout = cli.timeout;
+    cfg.optimized = cli.optimized;
+
+    let mut engine = Engine::new(program, cfg)?;
+    if cli.command == Command::Explain {
+        let _ = writeln!(out, "{}", engine.explain());
+        return Ok(());
+    }
+    for (name, path) in &cli.edb {
+        let rows = load_file(Path::new(path))?;
+        engine.load_edb(name, rows)?;
+    }
+    let result = engine.run()?;
+    let names: Vec<String> = if cli.print.is_empty() {
+        result.relation_names().iter().map(|s| s.to_string()).collect()
+    } else {
+        cli.print.clone()
+    };
+    for name in names {
+        let rows = result.sorted(&name);
+        let _ = writeln!(out, "{name} ({} rows):", rows.len());
+        let shown = if cli.limit == 0 { rows.len() } else { cli.limit };
+        for row in rows.iter().take(shown) {
+            let _ = writeln!(out, "  {name}{row}");
+        }
+        if rows.len() > shown {
+            let _ = writeln!(out, "  … {} more", rows.len() - shown);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "done in {:?} ({} local iterations, {} tuples exchanged)",
+        result.stats.elapsed,
+        result.stats.total_iterations(),
+        result.stats.total_sent()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Cli;
+
+    fn tmpdir() -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("dcd_cli_run_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn write(dir: &Path, name: &str, content: &str) -> String {
+        let p = dir.join(name);
+        std::fs::write(&p, content).unwrap();
+        p.display().to_string()
+    }
+
+    fn cli(words: Vec<String>) -> Cli {
+        Cli::parse(&words).unwrap()
+    }
+
+    #[test]
+    fn end_to_end_tc_run() {
+        let dir = tmpdir();
+        let prog = write(
+            &dir,
+            "tc.dl",
+            "tc(X, Y) <- arc(X, Y).\ntc(X, Y) <- tc(X, Z), arc(Z, Y).\n",
+        );
+        let edges = write(&dir, "edges.csv", "1,2\n2,3\n");
+        let c = cli(vec![
+            "run".into(),
+            prog,
+            "--edb".into(),
+            format!("arc={edges}"),
+            "--workers".into(),
+            "2".into(),
+        ]);
+        let mut out = Vec::new();
+        run_cli(&c, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("tc (3 rows):"), "{text}");
+        assert!(text.contains("tc(1, 3)"), "{text}");
+        assert!(text.contains("done in"), "{text}");
+    }
+
+    #[test]
+    fn explain_prints_plan_without_data() {
+        let dir = tmpdir();
+        let prog = write(
+            &dir,
+            "tc2.dl",
+            "tc(X, Y) <- arc(X, Y).\ntc(X, Y) <- tc(X, Z), arc(Z, Y).\n",
+        );
+        let c = cli(vec!["explain".into(), prog]);
+        let mut out = Vec::new();
+        run_cli(&c, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("stratum 0 (recursive)"), "{text}");
+    }
+
+    #[test]
+    fn params_flow_through() {
+        let dir = tmpdir();
+        let prog = write(
+            &dir,
+            "sp.dl",
+            "sp(To, min<C>) <- To = start, C = 0.
+             sp(T2, min<C>) <- sp(T1, C1), warc(T1, T2, C2), C = C1 + C2.",
+        );
+        let w = write(&dir, "w.csv", "1 2 10\n2 3 4\n");
+        let c = cli(vec![
+            "run".into(),
+            prog,
+            "--edb".into(),
+            format!("warc={w}"),
+            "--param".into(),
+            "start=1".into(),
+            "--limit".into(),
+            "0".into(),
+        ]);
+        let mut out = Vec::new();
+        run_cli(&c, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("sp(3, 14)"), "{text}");
+    }
+
+    #[test]
+    fn limit_truncates_output() {
+        let dir = tmpdir();
+        let prog = write(&dir, "t.dl", "t(X, Y) <- e(X, Y).");
+        let rows: String = (0..30).map(|i| format!("{i},{}\n", i + 1)).collect();
+        let data = write(&dir, "e.csv", &rows);
+        let c = cli(vec![
+            "run".into(),
+            prog,
+            "--edb".into(),
+            format!("e={data}"),
+            "--limit".into(),
+            "5".into(),
+        ]);
+        let mut out = Vec::new();
+        run_cli(&c, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("… 25 more"), "{text}");
+    }
+
+    #[test]
+    fn missing_program_file_errors_cleanly() {
+        let c = cli(vec!["run".into(), "/nonexistent.dl".into()]);
+        let mut out = Vec::new();
+        let e = run_cli(&c, &mut out).unwrap_err();
+        assert!(e.to_string().contains("cannot read"));
+    }
+}

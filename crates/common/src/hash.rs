@@ -1,0 +1,136 @@
+//! Fast 64-bit hashing.
+//!
+//! A multiply-rotate construction in the style of FxHash / wyhash finalizers.
+//! Datalog keys are machine integers, so a low-quality-but-fast integer mixer
+//! dominates SipHash by a wide margin (see the perf-book hashing chapter);
+//! implementing it here keeps the workspace free of extra dependencies.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Mixes a 64-bit key into a well-distributed 64-bit hash
+/// (splitmix64 finalizer — full avalanche, 3 multiplies).
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Combines two hashes (order-sensitive).
+#[inline]
+pub fn combine(a: u64, b: u64) -> u64 {
+    mix64(a.rotate_left(26) ^ b ^ SEED)
+}
+
+/// An Fx-style streaming hasher for use with `HashMap`/`HashSet`.
+#[derive(Default, Clone)]
+pub struct FxStyleHasher {
+    state: u64,
+}
+
+impl Hasher for FxStyleHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // One final mix so short integer keys still avalanche into the high
+        // bits used by hashbrown's control bytes.
+        mix64(self.state)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.state = self.state.rotate_left(5).wrapping_mul(SEED) ^ v;
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(v as u64)
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64)
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64)
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64)
+    }
+}
+
+/// `BuildHasher` for the workspace hash maps.
+pub type FxBuild = BuildHasherDefault<FxStyleHasher>;
+
+/// A `HashMap` using the workspace hasher.
+pub type FastMap<K, V> = std::collections::HashMap<K, V, FxBuild>;
+
+/// A `HashSet` using the workspace hasher.
+pub type FastSet<K> = std::collections::HashSet<K, FxBuild>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_is_injective_on_small_range() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(mix64(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn mix64_avalanches_low_bits() {
+        // Flipping the lowest input bit should flip roughly half the output
+        // bits on average.
+        let mut total = 0u32;
+        for i in 0..1000u64 {
+            total += (mix64(i) ^ mix64(i ^ 1)).count_ones();
+        }
+        let avg = total as f64 / 1000.0;
+        assert!((20.0..44.0).contains(&avg), "poor avalanche: {avg}");
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        assert_ne!(combine(1, 2), combine(2, 1));
+    }
+
+    #[test]
+    fn fast_map_works() {
+        let mut m: FastMap<u64, u64> = FastMap::default();
+        for i in 0..100 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m[&40], 80);
+        assert_eq!(m.len(), 100);
+    }
+
+    #[test]
+    fn hasher_distinguishes_streams() {
+        use std::hash::Hasher as _;
+        let mut a = FxStyleHasher::default();
+        let mut b = FxStyleHasher::default();
+        a.write_u64(1);
+        a.write_u64(2);
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! Common foundations for the DCDatalog workspace.
+//!
+//! This crate defines the data model shared by every other crate:
+//!
+//! * [`Value`] — a compact, copyable, totally-ordered scalar (integer or
+//!   float) used for every term in a Datalog fact.
+//! * [`Tuple`] — a small fixed-arity row of values with inline storage for
+//!   the arities that dominate Datalog workloads.
+//! * [`hash`] — the multiply-shift / Fx-style 64-bit hash used everywhere a
+//!   hash of a value or key is needed (indexes, caches, partitioning).
+//! * [`Partitioner`] — the hash-based discriminating function `H` of the
+//!   paper's Algorithm 1, mapping join keys to workers.
+//! * [`DcdError`] — the workspace-wide error type.
+//! * [`stats`] — streaming mean/variance and EWMA estimators used by the DWS
+//!   coordination strategy to track arrival and service rates.
+
+pub mod error;
+pub mod hash;
+pub mod partition;
+pub mod stats;
+pub mod tuple;
+pub mod value;
+
+pub use error::{DcdError, Result};
+pub use partition::Partitioner;
+pub use tuple::Tuple;
+pub use value::Value;
+
+/// Identifier of a worker (thread) in the parallel runtime.
+pub type WorkerId = usize;
+
+/// Identifier of a predicate (relation) assigned by the frontend catalog.
+pub type PredicateId = usize;

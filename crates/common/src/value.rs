@@ -1,0 +1,238 @@
+//! The scalar value type used for all Datalog terms.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A Datalog constant: a 64-bit integer or a 64-bit float.
+///
+/// All eight benchmark queries of the paper operate on integer vertex ids,
+/// integer costs/levels, or float PageRank masses, so two variants suffice.
+/// The type is `Copy`, 16 bytes, and totally ordered (floats are ordered by
+/// the IEEE-754 total order, so `NaN` compares consistently and the type can
+/// be used as a B+-tree key and inside hash tables).
+#[derive(Clone, Copy, Debug)]
+pub enum Value {
+    /// A signed 64-bit integer (vertex ids, counts, integer costs).
+    Int(i64),
+    /// A 64-bit float (PageRank mass, fractional edge weights).
+    Float(f64),
+}
+
+#[allow(clippy::should_implement_trait)] // Datalog arithmetic is total (no overflow panics, div-by-zero defined), unlike std ops
+impl Value {
+    /// Returns the integer payload, or an error-friendly `None` for floats.
+    #[inline]
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(v),
+            Value::Float(_) => None,
+        }
+    }
+
+    /// Returns the payload as `f64`, converting integers losslessly for the
+    /// magnitudes used in practice.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Value::Int(v) => v as f64,
+            Value::Float(v) => v,
+        }
+    }
+
+    /// Returns the integer payload or panics; used on code paths where the
+    /// planner has already proven the term is integer-typed.
+    #[inline]
+    pub fn expect_int(self) -> i64 {
+        match self {
+            Value::Int(v) => v,
+            Value::Float(v) => panic!("expected integer value, found float {v}"),
+        }
+    }
+
+    /// A stable 64-bit key for hashing and partitioning. Integer and float
+    /// values that are `==` map to the same key.
+    #[inline]
+    pub fn key_bits(self) -> u64 {
+        match self {
+            Value::Int(v) => v as u64,
+            // Floats that happen to be integral compare equal to the
+            // corresponding Int, so they must hash identically.
+            Value::Float(v) => {
+                if v.fract() == 0.0 && v.abs() < (i64::MAX as f64) {
+                    v as i64 as u64
+                } else {
+                    v.to_bits()
+                }
+            }
+        }
+    }
+
+    /// Checked addition following Datalog arithmetic: ints stay ints,
+    /// any float operand promotes to float.
+    #[inline]
+    pub fn add(self, other: Value) -> Value {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_add(b)),
+            _ => Value::Float(self.as_f64() + other.as_f64()),
+        }
+    }
+
+    /// Subtraction with the same promotion rule as [`Value::add`].
+    #[inline]
+    pub fn sub(self, other: Value) -> Value {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_sub(b)),
+            _ => Value::Float(self.as_f64() - other.as_f64()),
+        }
+    }
+
+    /// Multiplication with the same promotion rule as [`Value::add`].
+    #[inline]
+    pub fn mul(self, other: Value) -> Value {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_mul(b)),
+            _ => Value::Float(self.as_f64() * other.as_f64()),
+        }
+    }
+
+    /// Division. Integer division by zero yields `Int(0)` (Datalog engines
+    /// conventionally make arithmetic total); float division follows IEEE.
+    #[inline]
+    pub fn div(self, other: Value) -> Value {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => {
+                if b == 0 {
+                    Value::Int(0)
+                } else {
+                    Value::Int(a / b)
+                }
+            }
+            _ => Value::Float(self.as_f64() / other.as_f64()),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            // Mixed comparisons go through f64; ties broken so that the
+            // ordering stays antisymmetric (Int < Float on exact ties only
+            // when bit patterns differ, which total_cmp resolves).
+            (Value::Int(a), Value::Float(b)) => (*a as f64).total_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.total_cmp(&(*b as f64)),
+        }
+    }
+}
+
+impl Hash for Value {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.key_bits().hash(state);
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    #[inline]
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<u32> for Value {
+    #[inline]
+    fn from(v: u32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    #[inline]
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn int_equality_and_order() {
+        assert_eq!(Value::Int(3), Value::Int(3));
+        assert!(Value::Int(2) < Value::Int(3));
+        assert!(Value::Int(-1) < Value::Int(0));
+    }
+
+    #[test]
+    fn float_total_order_handles_nan() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert!(Value::Float(1.0) < Value::Float(2.0));
+    }
+
+    #[test]
+    fn mixed_int_float_equality_is_consistent_with_hash() {
+        let a = Value::Int(7);
+        let b = Value::Float(7.0);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(a), hash_of(b));
+    }
+
+    #[test]
+    fn arithmetic_promotion() {
+        assert_eq!(Value::Int(2).add(Value::Int(3)), Value::Int(5));
+        assert_eq!(Value::Int(2).add(Value::Float(0.5)), Value::Float(2.5));
+        assert_eq!(Value::Int(7).div(Value::Int(2)), Value::Int(3));
+        assert_eq!(Value::Int(7).div(Value::Int(0)), Value::Int(0));
+        assert_eq!(Value::Float(1.0).div(Value::Int(4)), Value::Float(0.25));
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        assert_eq!(Value::Int(-12).to_string(), "-12");
+        assert_eq!(Value::Float(0.5).to_string(), "0.5");
+    }
+
+    #[test]
+    fn sub_and_mul() {
+        assert_eq!(Value::Int(5).sub(Value::Int(7)), Value::Int(-2));
+        assert_eq!(Value::Int(4).mul(Value::Int(3)), Value::Int(12));
+        assert_eq!(Value::Float(2.0).mul(Value::Int(3)), Value::Float(6.0));
+    }
+}

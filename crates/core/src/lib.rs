@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+//! # DCDatalog
+//!
+//! A parallel recursive Datalog engine for shared-memory multicore
+//! machines — a from-scratch Rust reproduction of *"Optimizing Parallel
+//! Recursive Datalog Evaluation on Multicore Machines"* (SIGMOD 2022).
+//!
+//! The engine evaluates Datalog programs — including programs with
+//! `min`/`max`/`sum`/`count` aggregates *inside* recursion, non-linear
+//! recursion (APSP) and mutual recursion — by parallel semi-naive
+//! evaluation over hash-partitioned relations. Workers exchange deltas
+//! through lock-free SPSC buffers and coordinate with the paper's
+//! **Dynamic Weight-based Strategy** (DWS) by default; the `Global`
+//! barrier strategy and bounded-staleness `SSP` are available for
+//! comparison.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dcdatalog::{queries, Engine, EngineConfig};
+//!
+//! // Transitive closure of a 4-cycle, on 2 workers.
+//! let mut engine = Engine::new(queries::tc()?, EngineConfig::with_workers(2))?;
+//! engine.load_edges("arc", &[(1, 2), (2, 3), (3, 4), (4, 1)])?;
+//! let result = engine.run()?;
+//! assert_eq!(result.relation("tc").len(), 16); // complete digraph
+//! # Ok::<(), dcd_common::DcdError>(())
+//! ```
+//!
+//! Custom programs are plain text:
+//!
+//! ```
+//! use dcdatalog::{Engine, EngineConfig, Program};
+//!
+//! let program = Program::parse(
+//!     "reach(Y) <- Y = start.
+//!      reach(Y) <- reach(X), arc(X, Y).",
+//! )?
+//! .with_param("start", 1i64);
+//! let mut engine = Engine::new(program, EngineConfig::with_workers(2))?;
+//! engine.load_edges("arc", &[(1, 2), (2, 3)])?;
+//! let result = engine.run()?;
+//! assert_eq!(result.relation("reach").len(), 3);
+//! # Ok::<(), dcd_common::DcdError>(())
+//! ```
+
+pub mod config;
+pub mod engine;
+pub mod eval;
+pub mod queries;
+pub mod store;
+pub mod worker;
+
+pub use config::EngineConfig;
+pub use dcd_common::{DcdError, Result, Tuple, Value};
+pub use dcd_runtime::Strategy;
+pub use engine::{Engine, EvalResult, Program, RunStats};

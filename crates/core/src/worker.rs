@@ -1,0 +1,654 @@
+//! The per-worker evaluation loop: Algorithm 1 (Global), its SSP
+//! relaxation, and Algorithm 2 (DWS).
+//!
+//! Every worker runs the strata in order, synchronizing at stratum entry.
+//! Within a recursive stratum it repeatedly: drains its message buffers
+//! (Gather), merges the arrivals into its local stores (emitting delta
+//! rows), decides per its strategy whether to wait or proceed, evaluates
+//! one local semi-naive iteration, and distributes the derived tuples
+//! (Distribute). Termination is per-strategy: the round barrier's all-zero
+//! round for Global, the produced/consumed counter protocol for SSP/DWS.
+//!
+//! Routing note: a derived tuple is *sent* once per distinct destination
+//! worker, and every receiver re-derives locally which of the relation's
+//! routes (§4.3) apply to it — this keeps multi-route relations (APSP)
+//! correct even when two routes hash to the same worker.
+
+use crate::config::EngineConfig;
+use crate::eval::Evaluator;
+use crate::store::{Merged, WorkerStore};
+use dcd_common::hash::FastMap;
+use dcd_common::{DcdError, Partitioner, Result, Tuple, WorkerId};
+use dcd_frontend::physical::{PhysicalPlan, RelId};
+use dcd_runtime::{
+    Batch, BufferMatrix, DwsController, IdleOutcome, RoundBarrier, SspClock, Strategy,
+    Termination, WorkerEndpoints,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// Per-stratum coordination objects (shared by all workers).
+pub struct StratumCoord {
+    /// Entry synchronization (also separates init sends from round 1).
+    pub entry: Barrier,
+    /// Post-init synchronization.
+    pub post_init: Barrier,
+    /// Counter-based fixpoint detection (SSP/DWS).
+    pub termination: Termination,
+    /// Per-global-iteration barrier (Global).
+    pub round: RoundBarrier,
+    /// Bounded-staleness clock (SSP).
+    pub ssp: SspClock,
+}
+
+/// All shared coordination state for one evaluation.
+pub struct Coordination {
+    /// The message-buffer matrix.
+    pub buffers: BufferMatrix,
+    /// The discriminating function `H`.
+    pub part: Partitioner,
+    /// Per-stratum coordination.
+    pub strata: Vec<StratumCoord>,
+    /// Error/timeout flag.
+    pub abort: AtomicBool,
+    /// Wall-clock deadline.
+    pub deadline: Option<Instant>,
+}
+
+impl Coordination {
+    /// Builds coordination state for `plan` under `cfg`.
+    pub fn new(plan: &PhysicalPlan, cfg: &EngineConfig) -> Self {
+        let n = cfg.workers;
+        let ssp_s = match cfg.strategy {
+            Strategy::Ssp { s } => s,
+            _ => 0,
+        };
+        let strata = plan
+            .strata
+            .iter()
+            .map(|_| StratumCoord {
+                entry: Barrier::new(n),
+                post_init: Barrier::new(n),
+                termination: Termination::new(n, cfg.idle_poll),
+                round: RoundBarrier::new(n),
+                ssp: SspClock::new(n, ssp_s),
+            })
+            .collect();
+        Coordination {
+            buffers: BufferMatrix::new(n, cfg.queue_capacity),
+            part: Partitioner::new(n),
+            strata,
+            abort: AtomicBool::new(false),
+            deadline: cfg.timeout.map(|t| Instant::now() + t),
+        }
+    }
+
+    /// Flags an abort and releases everything blocked.
+    pub fn cancel(&self) {
+        self.abort.store(true, Ordering::SeqCst);
+        for s in &self.strata {
+            s.termination.cancel();
+            s.round.cancel();
+        }
+    }
+
+    fn check_deadline(&self) -> Result<()> {
+        if self.abort.load(Ordering::SeqCst) {
+            return Err(DcdError::Execution("evaluation aborted".into()));
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() > d {
+                self.cancel();
+                return Err(DcdError::Execution("evaluation timed out".into()));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-worker statistics.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerStats {
+    /// Local iterations executed.
+    pub iterations: u64,
+    /// Delta tuples processed.
+    pub processed: u64,
+    /// Tuples sent to other workers.
+    pub sent: u64,
+    /// Batches received.
+    pub batches_in: u64,
+}
+
+/// Pre-Distribute partial aggregation (§5.2.3): merge-layout rows derived
+/// within one local iteration collapse per key before routing — min/max
+/// keep the best row per group, sum/count keep the latest row per
+/// (group, contributor), set relations drop exact duplicates.
+#[derive(Default)]
+struct PartialAgg {
+    best: FastMap<(RelId, Tuple), Tuple>,
+}
+
+impl PartialAgg {
+    fn push(&mut self, plan: &PhysicalPlan, rel: RelId, row: Tuple) {
+        use dcd_frontend::ast::AggFunc;
+        use dcd_frontend::physical::StorageKind;
+        let decl = plan.idb[rel].as_ref().expect("IDB head");
+        match &decl.kind {
+            StorageKind::Set => {
+                // Exact-duplicate elimination.
+                self.best.entry((rel, row.clone())).or_insert(row);
+            }
+            StorageKind::Agg { func, group_cols, .. } => {
+                let (key_cols, keep_better): (usize, Option<AggFunc>) = match func {
+                    AggFunc::Min | AggFunc::Max => (*group_cols, Some(*func)),
+                    // Contributor is part of the key; later rows replace.
+                    AggFunc::Sum | AggFunc::Count => (*group_cols + 1, None),
+                };
+                let key = row.project(&(0..key_cols).collect::<Vec<_>>());
+                match self.best.entry((rel, key)) {
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(row);
+                    }
+                    std::collections::hash_map::Entry::Occupied(mut o) => match keep_better {
+                        Some(AggFunc::Min) => {
+                            if row.values()[key_cols] < o.get().values()[key_cols] {
+                                o.insert(row);
+                            }
+                        }
+                        Some(AggFunc::Max) => {
+                            if row.values()[key_cols] > o.get().values()[key_cols] {
+                                o.insert(row);
+                            }
+                        }
+                        _ => {
+                            o.insert(row); // sum: latest contribution wins
+                        }
+                    },
+                }
+            }
+        }
+    }
+
+    fn into_rows(self) -> Vec<(RelId, Tuple)> {
+        self.best.into_iter().map(|((rel, _), row)| (rel, row)).collect()
+    }
+}
+
+/// Pending delta rows: `(relation, route, logical row)`.
+struct DeltaSet {
+    rows: Vec<(RelId, u8, Tuple)>,
+}
+
+impl DeltaSet {
+    fn new() -> Self {
+        DeltaSet { rows: Vec::new() }
+    }
+
+    fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn take(&mut self) -> Vec<(RelId, u8, Tuple)> {
+        std::mem::take(&mut self.rows)
+    }
+}
+
+/// The worker context bundling everything one thread needs.
+pub struct Worker<'a> {
+    plan: &'a PhysicalPlan,
+    cfg: &'a EngineConfig,
+    coord: &'a Coordination,
+    endpoints: WorkerEndpoints<'a>,
+    me: WorkerId,
+    evaluator: Evaluator<'a>,
+    stats: WorkerStats,
+}
+
+impl<'a> Worker<'a> {
+    /// Claims worker `me`'s endpoints and builds its context.
+    pub fn new(
+        plan: &'a PhysicalPlan,
+        cfg: &'a EngineConfig,
+        coord: &'a Coordination,
+        me: WorkerId,
+    ) -> Self {
+        Worker {
+            plan,
+            cfg,
+            coord,
+            endpoints: coord.buffers.claim(me),
+            me,
+            evaluator: Evaluator {
+                plan,
+                me,
+                workers: cfg.workers,
+            },
+            stats: WorkerStats::default(),
+        }
+    }
+
+    /// Runs the full evaluation for this worker; returns the final local
+    /// store and statistics.
+    pub fn run(mut self, mut store: WorkerStore) -> Result<(WorkerStore, WorkerStats)> {
+        for si in 0..self.plan.strata.len() {
+            self.run_stratum(si, &mut store)?;
+        }
+        Ok((store, self.stats))
+    }
+
+    fn run_stratum(&mut self, si: usize, store: &mut WorkerStore) -> Result<()> {
+        let sc = &self.coord.strata[si];
+        sc.entry.wait();
+        self.coord.check_deadline()?;
+
+        // ---- Init phase: base rules + inline facts ----
+        let stratum = &self.plan.strata[si];
+        let mut acc = PartialAgg::default();
+        {
+            let mut rows = Vec::new();
+            for rule in &stratum.init_rules {
+                rows.clear();
+                self.evaluator.eval_init(rule, store, &mut rows);
+                for t in rows.drain(..) {
+                    acc.push(self.plan, rule.head_rel, t);
+                }
+            }
+        }
+        if self.me == 0 {
+            for (rel, t) in &self.plan.facts {
+                if stratum.rels.contains(rel) {
+                    acc.push(self.plan, *rel, t.clone());
+                }
+            }
+        }
+        let outs = acc.into_rows();
+        let mut delta = DeltaSet::new();
+        self.distribute(si, store, outs, &mut delta)?;
+        sc.post_init.wait();
+
+        // ---- Fixpoint phase ----
+        match &self.cfg.strategy {
+            Strategy::Global => self.global_loop(si, store, delta),
+            Strategy::Ssp { .. } => self.async_loop(si, store, delta, None),
+            Strategy::Dws | Strategy::DwsWith(_) => {
+                let dws_cfg = self.cfg.strategy.dws_config().expect("dws strategy");
+                let controller = DwsController::new(self.cfg.workers, dws_cfg);
+                self.async_loop(si, store, delta, Some(controller))
+            }
+        }
+    }
+
+    /// Algorithm 1: a global barrier after every iteration.
+    fn global_loop(&mut self, si: usize, store: &mut WorkerStore, mut delta: DeltaSet) -> Result<()> {
+        // Initial new-tuple count: what init distributed locally + remotely
+        // is already in `delta`/queues; the first round drains and counts.
+        loop {
+            self.coord.check_deadline()?;
+            self.drain(si, store, &mut delta, None);
+            let outs = self.iterate(si, store, &mut delta);
+            let before_sent = self.stats.sent;
+            let local_new = self.distribute(si, store, outs, &mut delta)?;
+            let produced = (self.stats.sent - before_sent) + local_new;
+            if !self.coord.strata[si].round.arrive(produced) {
+                if self.coord.abort.load(Ordering::SeqCst) {
+                    return Err(DcdError::Execution("evaluation aborted".into()));
+                }
+                return Ok(());
+            }
+        }
+    }
+
+    /// Algorithm 2 (DWS) and the SSP relaxation: no global barrier.
+    fn async_loop(
+        &mut self,
+        si: usize,
+        store: &mut WorkerStore,
+        mut delta: DeltaSet,
+        mut dws: Option<DwsController>,
+    ) -> Result<()> {
+        let sc = &self.coord.strata[si];
+        let is_ssp = matches!(self.cfg.strategy, Strategy::Ssp { .. });
+        loop {
+            self.coord.check_deadline()?;
+            self.drain(si, store, &mut delta, dws.as_mut());
+
+            if delta.is_empty() {
+                // Local fixpoint: park until new work or global fixpoint.
+                if is_ssp {
+                    sc.ssp.finish(self.me);
+                }
+                match sc.termination.idle_wait(|| self.endpoints.has_inbound()) {
+                    IdleOutcome::Done => {
+                        if self.coord.abort.load(Ordering::SeqCst) {
+                            return Err(DcdError::Execution("evaluation aborted".into()));
+                        }
+                        return Ok(());
+                    }
+                    IdleOutcome::Work => {
+                        if is_ssp {
+                            sc.ssp.rejoin(self.me);
+                        }
+                        continue;
+                    }
+                }
+            }
+
+            // DWS: wait up to τ while the delta is smaller than ω
+            // (Algorithm 2 lines 5–8), collecting more tuples meanwhile.
+            if let Some(ctrl) = dws.as_mut() {
+                let omega = ctrl.omega();
+                if delta.len() < omega {
+                    let deadline = Instant::now() + ctrl.tau();
+                    while delta.len() < omega
+                        && Instant::now() < deadline
+                        && !sc.termination.is_done()
+                    {
+                        if self.endpoints.has_inbound() {
+                            self.drain_into(si, store, &mut delta, &mut None);
+                        } else {
+                            std::thread::sleep(Duration::from_micros(5));
+                        }
+                    }
+                }
+                ctrl.update_params();
+            }
+
+            // SSP: stay within `s` iterations of the frontier.
+            if is_ssp {
+                let abort = || {
+                    self.coord.abort.load(Ordering::SeqCst)
+                        || sc.termination.is_done()
+                };
+                sc.ssp.wait_if_ahead(self.me, abort);
+            }
+
+            let t0 = Instant::now();
+            let processed = delta.len();
+            let outs = self.iterate(si, store, &mut delta);
+            self.distribute(si, store, outs, &mut delta)?;
+            if let Some(ctrl) = dws.as_mut() {
+                ctrl.on_iteration(processed, t0.elapsed());
+            }
+            if is_ssp {
+                sc.ssp.advance(self.me);
+            }
+        }
+    }
+
+    /// Coalesces pending delta rows (the Gather semantics of §5.2.2): an
+    /// aggregate group that updated several times since the last local
+    /// iteration keeps only its newest logical row. Without this, `sum`
+    /// relations fragment convergence into O(total-change/ε) micro-deltas.
+    fn coalesce(&self, rows: Vec<(RelId, u8, Tuple)>) -> Vec<(RelId, u8, Tuple)> {
+        use dcd_frontend::physical::StorageKind;
+        // (rel, route, group values) → index of the newest row.
+        let mut latest: FastMap<(RelId, u8, Vec<dcd_common::Value>), usize> = FastMap::default();
+        let mut keep = vec![true; rows.len()];
+        for (i, (rel, route, row)) in rows.iter().enumerate() {
+            let decl = self.plan.idb[*rel].as_ref().expect("IDB");
+            let StorageKind::Agg { group_cols, .. } = &decl.kind else {
+                continue; // set relations never duplicate
+            };
+            let key = (*rel, *route, row.values()[..*group_cols].to_vec());
+            if let Some(prev) = latest.insert(key, i) {
+                keep[prev] = false;
+            }
+        }
+        rows.into_iter()
+            .zip(keep)
+            .filter_map(|(r, k)| k.then_some(r))
+            .collect()
+    }
+
+    /// One local semi-naive iteration: runs every matching delta variant
+    /// over the pending delta rows. Outputs pass through the partial
+    /// aggregation of §5.2.3 ("the Distribute operators also perform some
+    /// partial aggregation"), so the returned list is bounded by the
+    /// number of distinct output groups, not raw join results.
+    fn iterate(
+        &mut self,
+        si: usize,
+        store: &WorkerStore,
+        delta: &mut DeltaSet,
+    ) -> Vec<(RelId, Tuple)> {
+        let stratum = &self.plan.strata[si];
+        let rows = self.coalesce(delta.take());
+        self.stats.processed += rows.len() as u64;
+        self.stats.iterations += 1;
+        let mut acc = PartialAgg::default();
+        let mut buf = Vec::new();
+        for (rel, route, row) in &rows {
+            for rule in &stratum.delta_rules {
+                let spec = rule.delta.as_ref().expect("delta rule");
+                if spec.rel != *rel || spec.route != *route as usize {
+                    continue;
+                }
+                buf.clear();
+                self.evaluator.eval_delta(rule, store, row, &mut buf);
+                for t in buf.drain(..) {
+                    acc.push(self.plan, rule.head_rel, t);
+                }
+            }
+        }
+        acc.into_rows()
+    }
+
+    /// Routes derived tuples (Distribute): local merges feed the next
+    /// delta immediately, remote rows are batched into the SPSC buffers.
+    /// Returns the number of *new* local merges.
+    fn distribute(
+        &mut self,
+        si: usize,
+        store: &mut WorkerStore,
+        outs: Vec<(RelId, Tuple)>,
+        delta: &mut DeltaSet,
+    ) -> Result<u64> {
+        let n = self.cfg.workers;
+        let termination = &self.coord.strata[si].termination;
+        let mut local_new = 0u64;
+        // Staging area: (dest, rel) → rows.
+        let mut staged: FastMap<(WorkerId, RelId), Vec<Tuple>> = FastMap::default();
+        let mut dests: Vec<WorkerId> = Vec::with_capacity(2);
+        for (rel, row) in outs {
+            let decl = self.plan.idb[rel].as_ref().expect("IDB head");
+            dests.clear();
+            if decl.broadcast {
+                dests.extend(0..n);
+            } else {
+                for &c in &decl.partition_cols {
+                    let d = self.coord.part.of_key(row.key(c));
+                    if !dests.contains(&d) {
+                        dests.push(d);
+                    }
+                }
+            }
+            for &d in &dests {
+                if d == self.me {
+                    local_new += self.merge_local(store, rel, &row, delta);
+                } else {
+                    staged.entry((d, rel)).or_default().push(row.clone());
+                }
+            }
+        }
+        // Flush batches. When a queue is full we drain our own inbox while
+        // retrying, which breaks producer/consumer cycles (two workers
+        // flooding each other would otherwise deadlock).
+        for ((dest, rel), tuples) in staged {
+            for chunk in tuples.chunks(self.cfg.batch_size) {
+                termination.note_produced(chunk.len() as u64);
+                self.stats.sent += chunk.len() as u64;
+                let mut batch = Batch {
+                    rel: rel as u32,
+                    route: 0, // receivers re-derive applicable routes
+                    tuples: chunk.to_vec(),
+                    sent_at: Instant::now(),
+                    from: self.me,
+                };
+                loop {
+                    match self.endpoints.to_peer[dest].push(batch) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            batch = back;
+                            if self.coord.abort.load(Ordering::SeqCst) {
+                                return Err(DcdError::Execution("evaluation aborted".into()));
+                            }
+                            self.drain_into(si, store, delta, &mut None);
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+        }
+        Ok(local_new)
+    }
+
+    /// Merges one merge-layout row into the local store; on success, adds
+    /// a delta entry for every route of the relation that maps here.
+    fn merge_local(
+        &self,
+        store: &mut WorkerStore,
+        rel: RelId,
+        row: &Tuple,
+        delta: &mut DeltaSet,
+    ) -> u64 {
+        let decl = self.plan.idb[rel].as_ref().expect("IDB");
+        match store.rec_mut(rel).merge(row) {
+            Merged::New(logical) => {
+                if decl.broadcast {
+                    // Broadcast relations run every variant everywhere.
+                    for r in 0..decl.partition_cols.len().max(1) {
+                        delta.rows.push((rel, r as u8, logical.clone()));
+                    }
+                } else {
+                    for (ri, &c) in decl.partition_cols.iter().enumerate() {
+                        if self.coord.part.of_key(logical.key(c)) == self.me {
+                            delta.rows.push((rel, ri as u8, logical.clone()));
+                        }
+                    }
+                }
+                1
+            }
+            Merged::Old => 0,
+        }
+    }
+
+    /// Drains every inbound queue into the store/delta (Gather).
+    fn drain(
+        &mut self,
+        si: usize,
+        store: &mut WorkerStore,
+        delta: &mut DeltaSet,
+        mut dws: Option<&mut DwsController>,
+    ) {
+        self.drain_into(si, store, delta, &mut dws);
+    }
+
+    fn drain_into(
+        &mut self,
+        si: usize,
+        store: &mut WorkerStore,
+        delta: &mut DeltaSet,
+        dws: &mut Option<&mut DwsController>,
+    ) {
+        let termination = &self.coord.strata[si].termination;
+        for j in 0..self.cfg.workers {
+            while let Some(batch) = self.endpoints.from_peer[j].pop() {
+                self.stats.batches_in += 1;
+                if let Some(ctrl) = dws.as_deref_mut() {
+                    ctrl.on_batch(batch.from, batch.tuples.len(), batch.sent_at);
+                }
+                let k = batch.tuples.len() as u64;
+                for row in &batch.tuples {
+                    self.merge_local(store, batch.rel as usize, row, delta);
+                }
+                termination.note_consumed(k);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcd_frontend::physical::{plan, PlannerConfig};
+    use dcd_frontend::{analyze, parse_program};
+
+    fn cc_plan() -> PhysicalPlan {
+        let a = analyze(
+            parse_program(
+                "cc2(Y, min<Y>) <- arc(Y, _).
+                 cc2(Y, min<Z>) <- cc2(X, Z), arc(X, Y).",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        plan(&a, &PlannerConfig::default()).unwrap()
+    }
+
+    fn tc_plan() -> PhysicalPlan {
+        let a = analyze(
+            parse_program("tc(X, Y) <- arc(X, Y). tc(X, Y) <- tc(X, Z), arc(Z, Y).").unwrap(),
+        )
+        .unwrap();
+        plan(&a, &PlannerConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn partial_agg_collapses_min_groups() {
+        let p = cc_plan();
+        let cc2 = p.rel_by_name("cc2").unwrap();
+        let mut acc = PartialAgg::default();
+        acc.push(&p, cc2, Tuple::from_ints(&[1, 9]));
+        acc.push(&p, cc2, Tuple::from_ints(&[1, 3]));
+        acc.push(&p, cc2, Tuple::from_ints(&[1, 7]));
+        acc.push(&p, cc2, Tuple::from_ints(&[2, 5]));
+        let mut rows = acc.into_rows();
+        rows.sort_by(|a, b| a.1.cmp(&b.1));
+        assert_eq!(
+            rows.iter().map(|(_, t)| t.clone()).collect::<Vec<_>>(),
+            vec![Tuple::from_ints(&[1, 3]), Tuple::from_ints(&[2, 5])]
+        );
+    }
+
+    #[test]
+    fn partial_agg_dedups_set_rows() {
+        let p = tc_plan();
+        let tc = p.rel_by_name("tc").unwrap();
+        let mut acc = PartialAgg::default();
+        for _ in 0..5 {
+            acc.push(&p, tc, Tuple::from_ints(&[1, 2]));
+        }
+        acc.push(&p, tc, Tuple::from_ints(&[1, 3]));
+        assert_eq!(acc.into_rows().len(), 2);
+    }
+
+    #[test]
+    fn delta_set_take_empties() {
+        let mut d = DeltaSet::new();
+        assert!(d.is_empty());
+        d.rows.push((0, 0, Tuple::from_ints(&[1])));
+        d.rows.push((0, 1, Tuple::from_ints(&[2])));
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.take().len(), 2);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn coordination_cancel_is_idempotent_and_reports_deadline() {
+        let p = tc_plan();
+        let mut cfg = crate::config::EngineConfig::with_workers(2);
+        cfg.timeout = Some(std::time::Duration::from_secs(0));
+        let coord = Coordination::new(&p, &cfg);
+        // Deadline in the past must trip the check.
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert!(coord.check_deadline().is_err());
+        coord.cancel();
+        coord.cancel();
+        assert!(coord.check_deadline().is_err());
+    }
+}

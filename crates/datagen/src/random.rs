@@ -1,0 +1,64 @@
+//! Uniform random digraphs (the paper's G-10K dataset).
+
+use crate::Edges;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a G(n, p) random digraph: each ordered pair `(u, v)`,
+/// `u != v`, is an edge with probability `p`.
+///
+/// For the sparse regime used here (`p ≤ 0.01`) the generator samples the
+/// expected number of edges directly (geometric skipping would also work;
+/// rejection keeps the code simple and is plenty fast at this scale).
+pub fn gnp(n: usize, p: f64, seed: u64) -> Edges {
+    assert!(n >= 2);
+    assert!((0.0..=1.0).contains(&p));
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x69b9);
+    let target = ((n * (n - 1)) as f64 * p).round() as usize;
+    let mut seen = std::collections::HashSet::with_capacity(target * 2);
+    let mut out = Vec::with_capacity(target);
+    while out.len() < target {
+        let u = rng.gen_range(0..n) as i64;
+        let v = rng.gen_range(0..n) as i64;
+        if u == v {
+            continue;
+        }
+        if seen.insert((u, v)) {
+            out.push((u, v));
+        }
+    }
+    out
+}
+
+/// The paper's G-10K: 10 000 vertices, p = 0.001.
+pub fn g10k(seed: u64) -> Edges {
+    gnp(10_000, 0.001, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(gnp(100, 0.05, 1), gnp(100, 0.05, 1));
+    }
+
+    #[test]
+    fn edge_count_matches_expectation() {
+        let g = gnp(200, 0.01, 2);
+        assert_eq!(g.len(), (200.0f64 * 199.0 * 0.01).round() as usize);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        assert!(gnp(50, 0.1, 3).iter().all(|&(a, b)| a != b));
+    }
+
+    #[test]
+    fn g10k_scale() {
+        let g = g10k(1);
+        // ~ 10k·9999·0.001 ≈ 100k edges.
+        assert!((99_000..101_000).contains(&g.len()), "got {}", g.len());
+    }
+}

@@ -1,0 +1,124 @@
+//! The RMAT recursive-matrix graph generator.
+//!
+//! The paper's RMAT-*n* datasets have *n* vertices and *10·n* directed
+//! edges. RMAT recursively subdivides the adjacency matrix into four
+//! quadrants with probabilities `(a, b, c, d)`; the classic parameters
+//! `(0.57, 0.19, 0.19, 0.05)` produce the heavy-tailed degree
+//! distribution that makes parallel Datalog workloads skewed — exactly
+//! the straggler-inducing shape DWS targets.
+
+use crate::Edges;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Standard RMAT quadrant probabilities.
+pub const RMAT_A: f64 = 0.57;
+/// Quadrant b.
+pub const RMAT_B: f64 = 0.19;
+/// Quadrant c.
+pub const RMAT_C: f64 = 0.19;
+
+/// Generates an RMAT graph with `n` vertices (rounded up to a power of
+/// two internally) and `10 * n` edges, deduplicated, no self-loops.
+pub fn rmat(n: usize, seed: u64) -> Edges {
+    rmat_with(n, 10 * n, seed)
+}
+
+/// Generates an RMAT graph with an explicit edge budget.
+pub fn rmat_with(n: usize, edges: usize, seed: u64) -> Edges {
+    assert!(n >= 2, "need at least two vertices");
+    let scale = (n as f64).log2().ceil() as u32;
+    let side = 1usize << scale;
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x8a7a);
+    let mut out: Edges = Vec::with_capacity(edges);
+    let mut seen = std::collections::HashSet::with_capacity(edges * 2);
+    let mut attempts = 0usize;
+    let max_attempts = edges.saturating_mul(20).max(1000);
+    while out.len() < edges && attempts < max_attempts {
+        attempts += 1;
+        let (mut x0, mut x1) = (0usize, side);
+        let (mut y0, mut y1) = (0usize, side);
+        while x1 - x0 > 1 {
+            // Add noise per level so repeated descents decorrelate.
+            let r: f64 = rng.gen();
+            let (mx, my) = ((x0 + x1) / 2, (y0 + y1) / 2);
+            if r < RMAT_A {
+                x1 = mx;
+                y1 = my;
+            } else if r < RMAT_A + RMAT_B {
+                x1 = mx;
+                y0 = my;
+            } else if r < RMAT_A + RMAT_B + RMAT_C {
+                x0 = mx;
+                y1 = my;
+            } else {
+                x0 = mx;
+                y0 = my;
+            }
+        }
+        let (u, v) = (x0 % n, y0 % n);
+        if u == v {
+            continue;
+        }
+        if seen.insert((u, v)) {
+            out.push((u as i64, v as i64));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vertex_count;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(rmat(256, 7), rmat(256, 7));
+        assert_ne!(rmat(256, 7), rmat(256, 8));
+    }
+
+    #[test]
+    fn edge_budget_roughly_met() {
+        let g = rmat(256, 1);
+        // Dedup can fall slightly short, but should be close to 10n.
+        assert!(g.len() > 2000, "got {}", g.len());
+        assert!(g.len() <= 2560);
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates() {
+        let g = rmat(128, 3);
+        assert!(g.iter().all(|&(a, b)| a != b));
+        let mut d = g.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), g.len());
+    }
+
+    #[test]
+    fn ids_in_range() {
+        let n = 300; // not a power of two
+        let g = rmat(n, 5);
+        assert!(g
+            .iter()
+            .all(|&(a, b)| (0..n as i64).contains(&a) && (0..n as i64).contains(&b)));
+        assert!(vertex_count(&g) <= n);
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let g = rmat(1024, 11);
+        let mut deg = vec![0usize; 1024];
+        for &(a, _) in &g {
+            deg[a as usize] += 1;
+        }
+        deg.sort_unstable_by(|a, b| b.cmp(a));
+        let top = deg[..10].iter().sum::<usize>();
+        let avg10 = 10 * g.len() / 1024;
+        assert!(
+            top > avg10 * 3,
+            "top-10 vertices should dominate: top={top}, 10·avg={avg10}"
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Tree generators: Tree-*h* (SG) and N-*n* (Delivery).
+
+use crate::Edges;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Tree-*h*: a tree of height `h` where every non-leaf vertex has a
+/// uniform-random 2–6 children (paper §7.1.1). Edges point parent→child.
+pub fn tree(height: usize, seed: u64) -> Edges {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x7ee5);
+    let mut edges = Vec::new();
+    let mut frontier = vec![0i64];
+    let mut next_id = 1i64;
+    for _ in 0..height {
+        let mut next = Vec::new();
+        for &p in &frontier {
+            let kids = rng.gen_range(2..=6);
+            for _ in 0..kids {
+                edges.push((p, next_id));
+                next.push(next_id);
+                next_id += 1;
+            }
+        }
+        frontier = next;
+    }
+    edges
+}
+
+/// N-*n*: a tree with approximately `n` vertices, built level by level —
+/// each node has 5–10 children and each child becomes a leaf with
+/// probability 20–60 % (drawn per level, following the paper's reference \[24\]). Edges point
+/// parent→child, which is the `assbl(Part, SubPart)` orientation of the
+/// Delivery query.
+pub fn n_tree(n: usize, seed: u64) -> Edges {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x4ee);
+    let mut edges = Vec::with_capacity(n);
+    let mut frontier = vec![0i64];
+    let mut next_id = 1i64;
+    while !frontier.is_empty() && (next_id as usize) < n {
+        let leaf_p: f64 = rng.gen_range(0.2..0.6);
+        let mut next = Vec::new();
+        for &p in &frontier {
+            if (next_id as usize) >= n {
+                break;
+            }
+            let kids = rng.gen_range(5..=10);
+            for _ in 0..kids {
+                if (next_id as usize) >= n {
+                    break;
+                }
+                edges.push((p, next_id));
+                if !rng.gen_bool(leaf_p) {
+                    next.push(next_id);
+                }
+                next_id += 1;
+            }
+        }
+        // Guard: if every child became a leaf but we still need vertices,
+        // keep one interior node so growth continues.
+        if next.is_empty() && (next_id as usize) < n {
+            if let Some(&(_, last)) = edges.last() {
+                next.push(last);
+            }
+        }
+        frontier = next;
+    }
+    edges
+}
+
+/// Basic-part delivery days for the leaves of an `assbl` tree: every leaf
+/// part gets a deterministic pseudo-random 1..=max_days value.
+pub fn leaf_days(assbl: &[(i64, i64)], max_days: i64, seed: u64) -> Vec<(i64, i64)> {
+    use std::collections::HashSet;
+    let parents: HashSet<i64> = assbl.iter().map(|&(p, _)| p).collect();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xdaee);
+    let mut out = Vec::new();
+    for &(_, c) in assbl {
+        if !parents.contains(&c) {
+            out.push((c, rng.gen_range(1..=max_days)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn is_tree(edges: &[(i64, i64)]) -> bool {
+        // Every child has exactly one parent; root 0 has none.
+        let mut child_seen = HashSet::new();
+        for &(_, c) in edges {
+            if c == 0 || !child_seen.insert(c) {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn tree_is_a_tree_with_right_height() {
+        let t = tree(5, 9);
+        assert!(is_tree(&t));
+        // Depth of deepest vertex is 5.
+        let mut depth = std::collections::HashMap::new();
+        depth.insert(0i64, 0usize);
+        for &(p, c) in &t {
+            let d = depth[&p] + 1;
+            depth.insert(c, d);
+        }
+        assert_eq!(*depth.values().max().unwrap(), 5);
+    }
+
+    #[test]
+    fn tree_fanout_in_range() {
+        let t = tree(4, 3);
+        let mut fanout = std::collections::HashMap::new();
+        for &(p, _) in &t {
+            *fanout.entry(p).or_insert(0usize) += 1;
+        }
+        assert!(fanout.values().all(|&f| (2..=6).contains(&f)));
+    }
+
+    #[test]
+    fn n_tree_hits_target_size() {
+        let t = n_tree(5_000, 4);
+        assert!(is_tree(&t));
+        let n = crate::vertex_count(&t);
+        assert!((4_500..=5_001).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(tree(6, 1), tree(6, 1));
+        assert_eq!(n_tree(1000, 2), n_tree(1000, 2));
+    }
+
+    #[test]
+    fn leaf_days_covers_exactly_the_leaves() {
+        let t = n_tree(500, 5);
+        let days = leaf_days(&t, 30, 5);
+        let parents: HashSet<i64> = t.iter().map(|&(p, _)| p).collect();
+        let children: HashSet<i64> = t.iter().map(|&(_, c)| c).collect();
+        let leaves: HashSet<i64> = children.difference(&parents).copied().collect();
+        let covered: HashSet<i64> = days.iter().map(|&(p, _)| p).collect();
+        assert_eq!(covered, leaves);
+        assert!(days.iter().all(|&(_, d)| (1..=30).contains(&d)));
+    }
+}

@@ -1,0 +1,71 @@
+//! Scaled-down stand-ins for the paper's four real web/social graphs.
+//!
+//! The paper evaluates CC, SSSP and PageRank on LiveJournal (4.8 M
+//! vertices / 69 M edges), Orkut (3 M / 117 M), Arabic (23 M / 640 M) and
+//! Twitter (42 M / 1.5 B). Those datasets are not redistributable here, so
+//! each gets an RMAT stand-in whose vertex/edge *ratio* matches the
+//! original and whose degree distribution is similarly heavy-tailed. The
+//! `scale` divisor shrinks the graph to laptop size (DESIGN.md §2
+//! documents why relative engine comparisons survive this substitution).
+
+use crate::rmat::rmat_with;
+use crate::Edges;
+
+fn scaled(vertices: usize, edges: usize, scale: usize, seed: u64) -> Edges {
+    let scale = scale.max(1);
+    let n = (vertices / scale).max(64);
+    let m = (edges / scale).max(n);
+    rmat_with(n, m, seed)
+}
+
+/// LiveJournal-like: ratio 4 847 572 / 68 993 773 (~14 edges/vertex).
+pub fn livejournal_like(scale: usize, seed: u64) -> Edges {
+    scaled(4_847_572, 68_993_773, scale, seed ^ 0x11)
+}
+
+/// Orkut-like: ratio 3 072 441 / 117 185 083 (~38 edges/vertex).
+pub fn orkut_like(scale: usize, seed: u64) -> Edges {
+    scaled(3_072_441, 117_185_083, scale, seed ^ 0x22)
+}
+
+/// Arabic-like: ratio 22 744 080 / 639 999 458 (~28 edges/vertex).
+pub fn arabic_like(scale: usize, seed: u64) -> Edges {
+    scaled(22_744_080, 639_999_458, scale, seed ^ 0x33)
+}
+
+/// Twitter-like: ratio 41 652 231 / 1 468 365 182 (~35 edges/vertex).
+pub fn twitter_like(scale: usize, seed: u64) -> Edges {
+    scaled(41_652_231, 1_468_365_182, scale, seed ^ 0x44)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vertex_count;
+
+    #[test]
+    fn ratios_follow_the_originals() {
+        let scale = 10_000;
+        let lj = livejournal_like(scale, 1);
+        let ok = orkut_like(scale, 1);
+        let lj_ratio = lj.len() as f64 / vertex_count(&lj) as f64;
+        let ok_ratio = ok.len() as f64 / vertex_count(&ok) as f64;
+        assert!(
+            ok_ratio > lj_ratio,
+            "Orkut is denser than LiveJournal: {ok_ratio:.1} vs {lj_ratio:.1}"
+        );
+    }
+
+    #[test]
+    fn scale_shrinks() {
+        let big = livejournal_like(5_000, 2);
+        let small = livejournal_like(50_000, 2);
+        assert!(big.len() > small.len());
+    }
+
+    #[test]
+    fn deterministic_per_graph() {
+        assert_eq!(twitter_like(100_000, 3), twitter_like(100_000, 3));
+        assert_ne!(twitter_like(100_000, 3), arabic_like(100_000, 3));
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! Query Processor for DCDatalog (paper §3 and §5).
+//!
+//! The frontend turns Datalog source text into an executable parallel plan
+//! in four stages:
+//!
+//! 1. [`lexer`] / [`parser`] — source → [`ast::ProgramAst`].
+//! 2. [`analysis`] — catalog, Predicate Connection Graph, Tarjan SCCs,
+//!    recursion classification (simple / non-linear / mutual),
+//!    stratification and safety checks.
+//! 3. [`logical`] — per-rule relational operator DAGs with the paper's
+//!    rewrites: selection pushdown and recursive-table-first join
+//!    reordering (§5.1).
+//! 4. [`physical`] — the parallel physical plan: join-method selection
+//!    (hash / index / nested-loop), register-compiled rules, Distribute
+//!    routing columns and Gather storage specs (§5.2), including
+//!    two-partition replication for non-linear recursion (§4.3).
+
+pub mod analysis;
+pub mod ast;
+pub mod lexer;
+pub mod logical;
+pub mod parser;
+pub mod physical;
+
+pub use analysis::{analyze, AnalyzedProgram, Catalog, PredInfo};
+pub use ast::{AggFunc, ProgramAst};
+pub use parser::parse_program;
+pub use physical::{plan, PhysicalPlan};

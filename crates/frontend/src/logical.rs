@@ -1,0 +1,407 @@
+//! Logical planning (§5.1).
+//!
+//! The logical planner rewrites each analyzed rule into an ordered join
+//! chain annotated for parallel semi-naive evaluation:
+//!
+//! * **Recursive-table-first reordering** — the paper's §5.1 rewrite: the
+//!   recursive (delta) atom becomes the leftmost table of the join so the
+//!   physical nested-loop/index pipeline probes the indexed base tables.
+//! * **Connected join ordering** — remaining atoms are ordered greedily so
+//!   that every atom joins on at least one already-bound variable whenever
+//!   possible (turning the join into an index probe instead of a cross
+//!   product).
+//! * **Semi-naive variant expansion** — a rule with `k` recursive atoms
+//!   becomes `k` delta variants (`δR ⋈ R`, `R ⋈ δR`, …), the classical
+//!   rewrite that the paper applies to non-linear queries such as APSP
+//!   (§4.3).
+//! * **Selection pushdown** — constraints and `=` bindings are attached to
+//!   the earliest join level at which their variables are bound.
+
+use crate::analysis::{AnalyzedProgram, StratumInfo};
+use crate::ast::*;
+use dcd_common::{PredicateId, Result};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One execution ordering of a rule body.
+#[derive(Clone, Debug)]
+pub struct RuleVariant {
+    /// Index (into the rule's atom list) of the atom bound to the delta
+    /// relation; `None` for initialization / non-recursive rules.
+    pub delta_atom: Option<usize>,
+    /// Atom evaluation order (original atom indices). When `delta_atom` is
+    /// `Some(a)`, the order starts with `a`.
+    pub atom_order: Vec<usize>,
+    /// For each non-delta position `k` in `atom_order` (so `k ≥ 1` for
+    /// delta variants, `k ≥ 0` shifted accordingly), whether the atom can
+    /// be probed on a bound variable.
+    pub probeable: Vec<bool>,
+    /// Constraint literal indices attached after each position: entry `k`
+    /// lists the body-literal indices evaluable once `atom_order[..=k]`
+    /// (plus earlier bindings) are bound. Index `0` holds those evaluable
+    /// from the first atom alone.
+    pub constraints_at: Vec<Vec<usize>>,
+}
+
+/// A logically planned rule.
+#[derive(Clone, Debug)]
+pub struct LogicalRule {
+    /// Index into the program's rule list.
+    pub rule_idx: usize,
+    /// Head predicate.
+    pub head: PredicateId,
+    /// All execution variants (exactly one for non-recursive rules, one
+    /// per recursive atom otherwise).
+    pub variants: Vec<RuleVariant>,
+}
+
+/// A logically planned stratum.
+#[derive(Clone, Debug)]
+pub struct LogicalStratum {
+    /// Whether the stratum needs fixpoint iteration.
+    pub recursive: bool,
+    /// Member predicates.
+    pub preds: Vec<PredicateId>,
+    /// Initialization rules (no same-stratum atom in the body).
+    pub init_rules: Vec<LogicalRule>,
+    /// Recursive rules (delta variants).
+    pub delta_rules: Vec<LogicalRule>,
+}
+
+/// The whole logical plan.
+#[derive(Clone, Debug)]
+pub struct LogicalPlan {
+    /// Strata in evaluation order.
+    pub strata: Vec<LogicalStratum>,
+}
+
+/// Builds the logical plan for an analyzed program.
+pub fn logical_plan(prog: &AnalyzedProgram) -> Result<LogicalPlan> {
+    let mut strata = Vec::new();
+    for s in &prog.strata {
+        strata.push(plan_stratum(prog, s)?);
+    }
+    Ok(LogicalPlan { strata })
+}
+
+fn plan_stratum(prog: &AnalyzedProgram, s: &StratumInfo) -> Result<LogicalStratum> {
+    let mut init_rules = Vec::new();
+    let mut delta_rules = Vec::new();
+    for ri in &s.rules {
+        let rule = &prog.ast.rules[ri.rule_idx];
+        if ri.recursive_atoms.is_empty() {
+            init_rules.push(LogicalRule {
+                rule_idx: ri.rule_idx,
+                head: ri.head,
+                variants: vec![order_variant(rule, None)],
+            });
+        } else {
+            let variants = ri
+                .recursive_atoms
+                .iter()
+                .map(|&a| order_variant(rule, Some(a)))
+                .collect();
+            delta_rules.push(LogicalRule {
+                rule_idx: ri.rule_idx,
+                head: ri.head,
+                variants,
+            });
+        }
+    }
+    Ok(LogicalStratum {
+        recursive: s.recursive,
+        preds: s.preds.clone(),
+        init_rules,
+        delta_rules,
+    })
+}
+
+/// Variables bound by an atom.
+fn atom_vars(atom: &Atom) -> BTreeSet<&str> {
+    atom.terms
+        .iter()
+        .filter_map(|t| match t {
+            Term::Var(v) => Some(v.as_str()),
+            _ => None,
+        })
+        .collect()
+}
+
+fn lit_index_map(rule: &Rule) -> (Vec<&Atom>, Vec<usize>, Vec<usize>) {
+    // Returns (atoms, atom literal indices, constraint literal indices).
+    let mut atoms = Vec::new();
+    let mut atom_lits = Vec::new();
+    let mut cons_lits = Vec::new();
+    for (i, l) in rule.body.iter().enumerate() {
+        match l {
+            BodyLit::Atom(a) => {
+                atoms.push(a);
+                atom_lits.push(i);
+            }
+            BodyLit::Compare { .. } => cons_lits.push(i),
+        }
+    }
+    (atoms, atom_lits, cons_lits)
+}
+
+/// Orders a rule body: `delta` (an *atom index*) first if given, then the
+/// remaining atoms greedily by join connectivity, with constraints pushed
+/// to the earliest level at which they are evaluable.
+fn order_variant(rule: &Rule, delta: Option<usize>) -> RuleVariant {
+    let (atoms, _atom_lits, cons_lits) = lit_index_map(rule);
+    let natoms = atoms.len();
+    let mut order: Vec<usize> = Vec::with_capacity(natoms);
+    let mut used = vec![false; natoms];
+    let mut bound: BTreeSet<&str> = BTreeSet::new();
+    let mut probeable: Vec<bool> = Vec::new();
+
+    if let Some(d) = delta {
+        order.push(d);
+        used[d] = true;
+        bound.extend(atom_vars(atoms[d]));
+        probeable.push(false); // the delta atom is scanned from δR
+    }
+    while order.len() < natoms {
+        // Greedy: prefer an unused atom sharing a bound variable (or
+        // having a constant term) — it can be index-probed; otherwise take
+        // the first unused atom (nested loop).
+        let pick = (0..natoms)
+            .filter(|&i| !used[i])
+            .find(|&i| {
+                atoms[i].terms.iter().any(|t| match t {
+                    Term::Var(v) => bound.contains(v.as_str()),
+                    Term::Const(_) | Term::Param(_) => true,
+                    Term::Wildcard => false,
+                })
+            })
+            .or_else(|| (0..natoms).find(|&i| !used[i]));
+        let Some(pick) = pick else { break };
+        let can_probe = atoms[pick].terms.iter().any(|t| match t {
+            Term::Var(v) => bound.contains(v.as_str()),
+            Term::Const(_) | Term::Param(_) => true,
+            Term::Wildcard => false,
+        });
+        order.push(pick);
+        probeable.push(can_probe);
+        used[pick] = true;
+        bound.extend(atom_vars(atoms[pick]));
+    }
+
+    // Constraint placement: simulate bound-variable growth level by level,
+    // running the `=`-binding fixpoint at each level (selection pushdown).
+    let levels = order.len().max(1);
+    let mut constraints_at: Vec<Vec<usize>> = vec![Vec::new(); levels];
+    let mut placed: BTreeSet<usize> = BTreeSet::new();
+    let mut bound: BTreeSet<&str> = BTreeSet::new();
+    for (k, &ai) in order.iter().enumerate() {
+        bound.extend(atom_vars(atoms[ai]));
+        place_constraints(rule, &cons_lits, &mut bound, &mut placed, k, &mut constraints_at);
+    }
+    if order.is_empty() {
+        // Constraint-only rule (e.g. `sp(To, min<C>) <- To = start, C = 0.`).
+        place_constraints(
+            rule,
+            &cons_lits,
+            &mut bound,
+            &mut placed,
+            0,
+            &mut constraints_at,
+        );
+    }
+    RuleVariant {
+        delta_atom: delta,
+        atom_order: order,
+        probeable,
+        constraints_at,
+    }
+}
+
+fn place_constraints<'r>(
+    rule: &'r Rule,
+    cons_lits: &[usize],
+    bound: &mut BTreeSet<&'r str>,
+    placed: &mut BTreeSet<usize>,
+    level: usize,
+    constraints_at: &mut [Vec<usize>],
+) {
+    // Fixpoint: a `V = expr` binding can enable later constraints.
+    loop {
+        let mut changed = false;
+        for &ci in cons_lits {
+            if placed.contains(&ci) {
+                continue;
+            }
+            let BodyLit::Compare { op, lhs, rhs } = &rule.body[ci] else {
+                continue;
+            };
+            let evaluable = {
+                let mut vs = Vec::new();
+                lhs.vars(&mut vs);
+                rhs.vars(&mut vs);
+                let unbound: Vec<&&str> = vs.iter().filter(|v| !bound.contains(**v)).collect();
+                match (op, unbound.as_slice()) {
+                    (_, []) => true,
+                    // Binding assignment: exactly one unbound side variable.
+                    (CmpOp::Eq, [v]) => {
+                        let lhs_is_v = matches!(lhs, Expr::Term(Term::Var(x)) if x == **v);
+                        let rhs_is_v = matches!(rhs, Expr::Term(Term::Var(x)) if x == **v);
+                        lhs_is_v || rhs_is_v
+                    }
+                    _ => false,
+                }
+            };
+            if evaluable {
+                // Record any newly bound variable.
+                if let CmpOp::Eq = op {
+                    for side in [lhs, rhs] {
+                        if let Expr::Term(Term::Var(v)) = side {
+                            bound.insert(v.as_str());
+                        }
+                    }
+                }
+                constraints_at[level].push(ci);
+                placed.insert(ci);
+                changed = true;
+            }
+        }
+        if !changed {
+            return;
+        }
+    }
+}
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (si, s) in self.strata.iter().enumerate() {
+            writeln!(
+                f,
+                "stratum {si} ({}):",
+                if s.recursive { "recursive" } else { "once" }
+            )?;
+            for (label, rules) in [("init", &s.init_rules), ("delta", &s.delta_rules)] {
+                for r in rules.iter() {
+                    for v in &r.variants {
+                        write!(f, "  [{label}] rule#{}", r.rule_idx)?;
+                        if let Some(d) = v.delta_atom {
+                            write!(f, " δ@atom{d}")?;
+                        }
+                        write!(f, " order={:?}", v.atom_order)?;
+                        writeln!(f)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::parser::parse_program;
+
+    fn plan_src(src: &str) -> (AnalyzedProgram, LogicalPlan) {
+        let a = analyze(parse_program(src).unwrap()).unwrap();
+        let p = logical_plan(&a).unwrap();
+        (a, p)
+    }
+
+    #[test]
+    fn tc_reorders_nothing_but_marks_delta() {
+        let (_, p) = plan_src("tc(X, Y) <- arc(X, Y). tc(X, Y) <- tc(X, Z), arc(Z, Y).");
+        let s = &p.strata[0];
+        assert_eq!(s.init_rules.len(), 1);
+        assert_eq!(s.delta_rules.len(), 1);
+        let v = &s.delta_rules[0].variants[0];
+        assert_eq!(v.delta_atom, Some(0));
+        assert_eq!(v.atom_order, vec![0, 1]);
+        assert!(v.probeable[1], "arc should be probeable on Z");
+    }
+
+    #[test]
+    fn sg_moves_recursive_atom_first() {
+        // Source order: arc(A,X), sg(A,B), arc(B,Y) — sg is atom 1.
+        let (_, p) = plan_src(
+            "sg(X, Y) <- arc(P, X), arc(P, Y), X != Y.
+             sg(X, Y) <- arc(A, X), sg(A, B), arc(B, Y).",
+        );
+        let s = &p.strata[0];
+        let v = &s.delta_rules[0].variants[0];
+        assert_eq!(v.delta_atom, Some(1));
+        assert_eq!(v.atom_order[0], 1, "recursive table leftmost (§5.1)");
+        // Both arcs join on variables bound by sg: probeable.
+        assert!(v.probeable[1] && v.probeable[2]);
+    }
+
+    #[test]
+    fn apsp_produces_two_variants() {
+        let (_, p) = plan_src(
+            "path(A, B, min<D>) <- warc(A, B, D).
+             path(A, B, min<D>) <- path(A, C, D1), path(C, B, D2), D = D1 + D2.
+             apsp(A, B, min<D>) <- path(A, B, D).",
+        );
+        let s = &p.strata[0];
+        assert_eq!(s.delta_rules[0].variants.len(), 2);
+        let v0 = &s.delta_rules[0].variants[0];
+        let v1 = &s.delta_rules[0].variants[1];
+        assert_eq!(v0.delta_atom, Some(0));
+        assert_eq!(v0.atom_order, vec![0, 1]);
+        assert_eq!(v1.delta_atom, Some(1));
+        assert_eq!(v1.atom_order, vec![1, 0]);
+    }
+
+    #[test]
+    fn constraints_pushed_to_earliest_level() {
+        // X != Y is evaluable after the second arc binds Y... actually both
+        // P, X from atom 0; Y needs atom 1.
+        let (_, p) = plan_src("sg(X, Y) <- arc(P, X), arc(P, Y), X != Y.");
+        let v = &p.strata[0].init_rules[0].variants[0];
+        assert_eq!(v.atom_order, vec![0, 1]);
+        assert!(v.constraints_at[0].is_empty());
+        assert_eq!(v.constraints_at[1].len(), 1);
+    }
+
+    #[test]
+    fn binding_assignment_placed_with_its_inputs() {
+        let (_, p) = plan_src(
+            "sp(To2, min<C>) <- sp(To1, C1), warc(To1, To2, C2), C = C1 + C2.
+             sp(To, min<C>) <- seed(To), C = 0.",
+        );
+        let s = &p.strata[0];
+        let dv = &s.delta_rules[0].variants[0];
+        // C = C1 + C2 requires warc (C2): level 1.
+        assert_eq!(dv.constraints_at[1].len(), 1);
+        let iv = &s.init_rules[0].variants[0];
+        // C = 0 evaluable immediately after the first atom.
+        assert_eq!(iv.constraints_at[0].len(), 1);
+    }
+
+    #[test]
+    fn constraint_only_rule_places_at_level_zero() {
+        let (_, p) = plan_src(
+            "sp(To, min<C>) <- To = start, C = 0.
+             sp(To2, min<C>) <- sp(To1, C1), warc(To1, To2, C2), C = C1 + C2.",
+        );
+        let s = &p.strata[0];
+        let iv = &s.init_rules[0].variants[0];
+        assert!(iv.atom_order.is_empty());
+        assert_eq!(iv.constraints_at[0].len(), 2);
+    }
+
+    #[test]
+    fn display_mentions_strata() {
+        let (_, p) = plan_src("tc(X, Y) <- arc(X, Y). tc(X, Y) <- tc(X, Z), arc(Z, Y).");
+        let text = p.to_string();
+        assert!(text.contains("stratum 0 (recursive)"));
+        assert!(text.contains("δ@atom0"));
+    }
+
+    #[test]
+    fn disconnected_join_falls_back_to_nested_loop() {
+        let (_, p) = plan_src("p(X, Y) <- q(X), r(Y).");
+        let v = &p.strata[0].init_rules[0].variants[0];
+        assert_eq!(v.atom_order, vec![0, 1]);
+        assert!(!v.probeable[1], "r(Y) shares no variable: nested loop");
+    }
+}

@@ -1,0 +1,406 @@
+//! Recursive-descent parser producing a [`ProgramAst`].
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Token, TokenKind};
+use dcd_common::{DcdError, Result, Value};
+
+/// Parses a full program.
+pub fn parse_program(src: &str) -> Result<ProgramAst> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut rules = Vec::new();
+    while !p.at(&TokenKind::Eof) {
+        rules.push(p.rule()?);
+    }
+    Ok(ProgramAst { rules })
+}
+
+/// Parses a single rule (convenience for tests and the REPL-style API).
+pub fn parse_rule(src: &str) -> Result<Rule> {
+    let program = parse_program(src)?;
+    match program.rules.len() {
+        1 => Ok(program.rules.into_iter().next().expect("one rule")),
+        n => Err(DcdError::Parse {
+            message: format!("expected exactly one rule, found {n}"),
+            line: 1,
+            col: 1,
+        }),
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn at(&self, k: &TokenKind) -> bool {
+        self.peek() == k
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, msg: impl Into<String>) -> DcdError {
+        let t = &self.tokens[self.pos];
+        DcdError::Parse {
+            message: msg.into(),
+            line: t.line,
+            col: t.col,
+        }
+    }
+
+    fn expect(&mut self, k: TokenKind, what: &str) -> Result<Token> {
+        if self.at(&k) {
+            Ok(self.bump())
+        } else {
+            Err(self.error(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn lower_ident(&mut self, what: &str) -> Result<String> {
+        match self.peek().clone() {
+            TokenKind::LowerIdent(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    /// `rule := head ( '<-' body )? '.'`
+    fn rule(&mut self) -> Result<Rule> {
+        let head = self.head()?;
+        let body = if self.at(&TokenKind::Arrow) {
+            self.bump();
+            self.body()?
+        } else {
+            Vec::new()
+        };
+        self.expect(TokenKind::Dot, "'.' ending the rule")?;
+        Ok(Rule { head, body })
+    }
+
+    /// `head := pred '(' head_term (',' head_term)* ')'`
+    fn head(&mut self) -> Result<Head> {
+        let pred = self.lower_ident("a predicate name")?;
+        self.expect(TokenKind::LParen, "'('")?;
+        let mut terms = Vec::new();
+        loop {
+            terms.push(self.head_term()?);
+            if self.at(&TokenKind::Comma) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect(TokenKind::RParen, "')'")?;
+        Ok(Head { pred, terms })
+    }
+
+    /// A head term: aggregate `func< … >` or a plain term.
+    fn head_term(&mut self) -> Result<HeadTerm> {
+        if let TokenKind::LowerIdent(name) = self.peek() {
+            let func = match name.as_str() {
+                "min" => Some(AggFunc::Min),
+                "max" => Some(AggFunc::Max),
+                "sum" => Some(AggFunc::Sum),
+                "count" => Some(AggFunc::Count),
+                _ => None,
+            };
+            if let (Some(func), TokenKind::Lt) = (func, self.peek2()) {
+                self.bump(); // func name
+                self.bump(); // '<'
+                let args = if self.at(&TokenKind::LParen) {
+                    self.bump();
+                    let mut args = vec![self.expr()?];
+                    while self.at(&TokenKind::Comma) {
+                        self.bump();
+                        args.push(self.expr()?);
+                    }
+                    self.expect(TokenKind::RParen, "')'")?;
+                    args
+                } else {
+                    vec![self.expr()?]
+                };
+                self.expect(TokenKind::Gt, "'>' closing the aggregate")?;
+                let expected = if func == AggFunc::Sum { 2 } else { 1 };
+                if args.len() != expected {
+                    return Err(self.error(format!(
+                        "{func} takes {expected} argument(s), found {}",
+                        args.len()
+                    )));
+                }
+                return Ok(HeadTerm::Agg { func, args });
+            }
+        }
+        Ok(HeadTerm::Plain(self.term()?))
+    }
+
+    /// `body := literal (',' literal)*`
+    fn body(&mut self) -> Result<Vec<BodyLit>> {
+        let mut lits = vec![self.literal()?];
+        while self.at(&TokenKind::Comma) {
+            self.bump();
+            lits.push(self.literal()?);
+        }
+        Ok(lits)
+    }
+
+    /// A body literal: an atom, or a comparison between expressions.
+    fn literal(&mut self) -> Result<BodyLit> {
+        // Atom when a lower identifier is directly followed by '('.
+        if matches!(self.peek(), TokenKind::LowerIdent(_)) && *self.peek2() == TokenKind::LParen {
+            let pred = self.lower_ident("a predicate name")?;
+            self.bump(); // '('
+            let mut terms = Vec::new();
+            loop {
+                terms.push(self.term()?);
+                if self.at(&TokenKind::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RParen, "')'")?;
+            return Ok(BodyLit::Atom(Atom { pred, terms }));
+        }
+        let lhs = self.expr()?;
+        let op = match self.peek() {
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Ne => CmpOp::Ne,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            other => {
+                return Err(self.error(format!(
+                    "expected a comparison operator, found {other:?}"
+                )))
+            }
+        };
+        self.bump();
+        let rhs = self.expr()?;
+        Ok(BodyLit::Compare { op, lhs, rhs })
+    }
+
+    /// `term := Var | '_' | literal | param`
+    fn term(&mut self) -> Result<Term> {
+        match self.peek().clone() {
+            TokenKind::UpperIdent(v) => {
+                self.bump();
+                Ok(Term::Var(v))
+            }
+            TokenKind::Underscore => {
+                self.bump();
+                Ok(Term::Wildcard)
+            }
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Term::Const(Value::Int(v)))
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(Term::Const(Value::Float(v)))
+            }
+            TokenKind::Minus => {
+                self.bump();
+                match self.peek().clone() {
+                    TokenKind::Int(v) => {
+                        self.bump();
+                        Ok(Term::Const(Value::Int(-v)))
+                    }
+                    TokenKind::Float(v) => {
+                        self.bump();
+                        Ok(Term::Const(Value::Float(-v)))
+                    }
+                    _ => Err(self.error("expected a number after unary '-'")),
+                }
+            }
+            TokenKind::LowerIdent(p) => {
+                self.bump();
+                Ok(Term::Param(p))
+            }
+            other => Err(self.error(format!("expected a term, found {other:?}"))),
+        }
+    }
+
+    /// `expr := mul (('+'|'-') mul)*`
+    fn expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.mul()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => ArithOp::Add,
+                TokenKind::Minus => ArithOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    /// `mul := unary (('*'|'/') unary)*`
+    fn mul(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => ArithOp::Mul,
+                TokenKind::Slash => ArithOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    /// `unary := '(' expr ')' | term`
+    fn unary(&mut self) -> Result<Expr> {
+        if self.at(&TokenKind::LParen) {
+            self.bump();
+            let e = self.expr()?;
+            self.expect(TokenKind::RParen, "')'")?;
+            return Ok(e);
+        }
+        Ok(Expr::Term(self.term()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transitive_closure_round_trips() {
+        let src = "tc(X, Y) <- arc(X, Y).\ntc(X, Y) <- tc(X, Z), arc(Z, Y).\n";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(p.to_string(), src);
+    }
+
+    #[test]
+    fn aggregate_heads() {
+        let r = parse_rule("cc2(Y, min<Z>) <- cc2(X, Z), arc(X, Y).").unwrap();
+        let (idx, func, _) = r.head.aggregate().unwrap();
+        assert_eq!((idx, *func), (1, AggFunc::Min));
+    }
+
+    #[test]
+    fn sum_with_pair() {
+        let r =
+            parse_rule("rank(X, sum<(Y, K)>) <- rank(Y, C), matrix(Y, X, D), K = alpha * (C / D).")
+                .unwrap();
+        let (_, func, args) = r.head.aggregate().unwrap();
+        assert_eq!(*func, AggFunc::Sum);
+        assert_eq!(args.len(), 2);
+        assert_eq!(r.body.len(), 3);
+        assert!(matches!(r.body[2], BodyLit::Compare { op: CmpOp::Eq, .. }));
+    }
+
+    #[test]
+    fn sum_arity_checked() {
+        let e = parse_rule("r(X, sum<Y>) <- q(X, Y).").unwrap_err();
+        assert!(e.to_string().contains("sum takes 2"));
+        let e = parse_rule("r(X, min<(Y, Z)>) <- q(X, Y, Z).").unwrap_err();
+        assert!(e.to_string().contains("min takes 1"));
+    }
+
+    #[test]
+    fn constraints_and_arithmetic_precedence() {
+        let r = parse_rule("p(X) <- q(X, Y), X = Y + 2 * 3.").unwrap();
+        if let BodyLit::Compare { rhs, .. } = &r.body[1] {
+            assert_eq!(rhs.to_string(), "(Y + (2 * 3))");
+        } else {
+            panic!("expected constraint");
+        }
+    }
+
+    #[test]
+    fn wildcards_and_constants() {
+        let r = parse_rule("cc2(Y, min<Y>) <- arc(Y, _).").unwrap();
+        let atom = r.body_atoms().next().unwrap();
+        assert_eq!(atom.terms[1], Term::Wildcard);
+        let r = parse_rule("sp(To, min<C>) <- To = start, C = 0.").unwrap();
+        assert_eq!(r.body.len(), 2);
+    }
+
+    #[test]
+    fn negative_constant() {
+        let r = parse_rule("p(X) <- q(X, -5).").unwrap();
+        let atom = r.body_atoms().next().unwrap();
+        assert_eq!(atom.terms[1], Term::Const(Value::Int(-5)));
+    }
+
+    #[test]
+    fn facts_have_empty_bodies() {
+        let p = parse_program("arc(1, 2). arc(2, 3).").unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert!(p.rules[0].body.is_empty());
+        assert_eq!(p.rules[0].head.terms.len(), 2);
+    }
+
+    #[test]
+    fn prolog_arrow_accepted() {
+        let r = parse_rule("p(X) :- q(X).").unwrap();
+        assert_eq!(r.body.len(), 1);
+    }
+
+    #[test]
+    fn min_as_plain_param_when_not_followed_by_lt() {
+        // `min` without `<…>` is an ordinary parameter name.
+        let r = parse_rule("p(min) <- q(min).").unwrap();
+        assert_eq!(r.head.terms[0], HeadTerm::Plain(Term::Param("min".into())));
+    }
+
+    #[test]
+    fn missing_dot_is_an_error() {
+        let e = parse_program("p(X) <- q(X)").unwrap_err();
+        assert!(e.to_string().contains("'.'"));
+    }
+
+    #[test]
+    fn error_position_reported() {
+        let e = parse_program("p(X) <- q(X), .").unwrap_err();
+        match e {
+            DcdError::Parse { line, col, .. } => {
+                assert_eq!(line, 1);
+                assert!(col >= 14);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn apsp_parses() {
+        let src = "path(A, B, min<D>) <- warc(A, B, D).
+path(A, B, min<D>) <- path(A, C, D1), path(C, B, D2), D = D1 + D2.
+apsp(A, B, min<D>) <- path(A, B, D).";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.rules.len(), 3);
+        assert_eq!(p.rules[1].body_atoms().count(), 2);
+    }
+}

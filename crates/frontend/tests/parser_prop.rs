@@ -1,0 +1,93 @@
+//! Property tests for the frontend: pretty-print → re-parse round-trips,
+//! and planner totality over generated well-formed programs.
+
+use dcd_frontend::analysis::analyze;
+use dcd_frontend::ast::*;
+use dcd_frontend::parser::parse_program;
+use dcd_frontend::physical::{plan, PlannerConfig};
+use proptest::prelude::*;
+
+fn var_name() -> impl Strategy<Value = String> {
+    (0u8..6).prop_map(|i| format!("V{i}"))
+}
+
+fn pred_name() -> impl Strategy<Value = String> {
+    (0u8..4).prop_map(|i| format!("p{i}"))
+}
+
+fn term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        4 => var_name().prop_map(Term::Var),
+        1 => (-50i64..50).prop_map(|v| Term::Const(dcd_common::Value::Int(v))),
+        1 => Just(Term::Wildcard),
+    ]
+}
+
+fn atom(max_arity: usize) -> impl Strategy<Value = Atom> {
+    (pred_name(), proptest::collection::vec(term(), 1..=max_arity))
+        .prop_map(|(pred, terms)| Atom { pred, terms })
+}
+
+/// A safe rule: the head repeats variables drawn from the body atoms.
+fn rule() -> impl Strategy<Value = Rule> {
+    (proptest::collection::vec(atom(3), 1..4), pred_name(), 1usize..3).prop_map(
+        |(body, head_pred, head_arity)| {
+            // Collect body variables; fall back to a constant if none.
+            let mut vars: Vec<String> = body
+                .iter()
+                .flat_map(|a| a.terms.iter())
+                .filter_map(|t| match t {
+                    Term::Var(v) => Some(v.clone()),
+                    _ => None,
+                })
+                .collect();
+            vars.sort();
+            vars.dedup();
+            let head_terms: Vec<HeadTerm> = (0..head_arity)
+                .map(|i| {
+                    if vars.is_empty() {
+                        HeadTerm::Plain(Term::Const(dcd_common::Value::Int(i as i64)))
+                    } else {
+                        HeadTerm::Plain(Term::Var(vars[i % vars.len()].clone()))
+                    }
+                })
+                .collect();
+            Rule {
+                head: Head {
+                    pred: head_pred,
+                    terms: head_terms,
+                },
+                body: body.into_iter().map(BodyLit::Atom).collect(),
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn display_parse_roundtrip(rules in proptest::collection::vec(rule(), 1..6)) {
+        let ast = ProgramAst { rules };
+        let text = ast.to_string();
+        let reparsed = parse_program(&text).unwrap();
+        prop_assert_eq!(reparsed, ast);
+    }
+
+    #[test]
+    fn analyzer_and_planner_never_panic_on_wellformed_programs(
+        rules in proptest::collection::vec(rule(), 1..6),
+    ) {
+        let ast = ProgramAst { rules };
+        let text = ast.to_string();
+        // Arity conflicts between generated rules are legal analyzer
+        // *errors*; the property is totality (no panic), and that every
+        // analyzable program also plans.
+        if let Ok(parsed) = parse_program(&text) {
+            if let Ok(analyzed) = analyze(parsed) {
+                let planned = plan(&analyzed, &PlannerConfig::default());
+                prop_assert!(planned.is_ok(), "plan failed: {:?}", planned.err());
+            }
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! The per-worker message buffer matrix `M_i^j` (§4.1–4.2).
+//!
+//! Worker `W_j` sends the slice of its freshly derived delta that hashes to
+//! worker `W_i` by appending a [`Batch`] to `M_i^j`. Each `(i, j)` cell is a
+//! dedicated [`SpscQueue`], so races stay pairwise and lock-free (§6.1).
+
+use crate::spsc::{Consumer, Producer, SpscQueue};
+use dcd_common::{Tuple, WorkerId};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// A batch of derived tuples for one recursive relation, stamped with its
+/// send time so the receiver can maintain arrival statistics for DWS.
+pub struct Batch {
+    /// Which recursive relation the tuples belong to (catalog id).
+    pub rel: u32,
+    /// Which of the relation's partition columns routed these tuples
+    /// (index into the physical plan's `partition_cols`, §4.3).
+    pub route: u8,
+    /// The tuples.
+    pub tuples: Vec<Tuple>,
+    /// When the producer finished the iteration that derived these tuples.
+    pub sent_at: Instant,
+    /// Producer worker.
+    pub from: WorkerId,
+}
+
+/// The full `n × n` matrix of SPSC queues.
+///
+/// `queues[i][j]` carries batches from producer `j` to consumer `i`.
+pub struct BufferMatrix {
+    queues: Vec<Vec<SpscQueue<Batch>>>,
+    claimed: Vec<AtomicBool>,
+    n: usize,
+}
+
+/// Worker-local endpoints: producers towards every peer plus consumers for
+/// the worker's own row of the matrix.
+pub struct WorkerEndpoints<'a> {
+    /// `to_peer[k]` sends to worker `k` (slot `me` unused but present so
+    /// indexing matches worker ids; self-sends are legal and cheap).
+    pub to_peer: Vec<Producer<'a, Batch>>,
+    /// `from_peer[k]` receives batches produced by worker `k`.
+    pub from_peer: Vec<Consumer<'a, Batch>>,
+    /// This worker's id.
+    pub me: WorkerId,
+}
+
+impl BufferMatrix {
+    /// Builds the matrix for `n` workers with per-queue capacity
+    /// `cap` batches.
+    pub fn new(n: usize, cap: usize) -> Self {
+        assert!(n >= 1);
+        let queues = (0..n)
+            .map(|_| (0..n).map(|_| SpscQueue::new(cap)).collect())
+            .collect();
+        BufferMatrix {
+            queues,
+            claimed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            n,
+        }
+    }
+
+    /// Number of workers.
+    #[inline]
+    pub fn workers(&self) -> usize {
+        self.n
+    }
+
+    /// Claims the endpoints for worker `me`. Panics on double-claim — each
+    /// worker thread must claim exactly once (that is what makes the SPSC
+    /// queues single-producer/single-consumer).
+    pub fn claim(&self, me: WorkerId) -> WorkerEndpoints<'_> {
+        assert!(me < self.n, "worker id out of range");
+        assert!(
+            !self.claimed[me].swap(true, Ordering::SeqCst),
+            "worker {me} endpoints already claimed"
+        );
+        let to_peer = (0..self.n)
+            .map(|k| {
+                // Producer side of queue (consumer = k, producer = me).
+                let (p, _c) = self.queues[k][me].split();
+                p
+            })
+            .collect();
+        let from_peer = (0..self.n)
+            .map(|j| {
+                let (_p, c) = self.queues[me][j].split();
+                c
+            })
+            .collect();
+        WorkerEndpoints { to_peer, from_peer, me }
+    }
+
+    /// Whether every queue destined for worker `i` is currently empty
+    /// (used by idle checks; approximate under concurrency).
+    pub fn inbound_empty(&self, i: WorkerId) -> bool {
+        self.queues[i].iter().all(|q| q.is_empty())
+    }
+
+    /// Total queued batches destined for worker `i` (approximate).
+    pub fn inbound_len(&self, i: WorkerId) -> usize {
+        self.queues[i].iter().map(|q| q.len()).sum()
+    }
+}
+
+impl WorkerEndpoints<'_> {
+    /// True if any inbound queue has a batch ready.
+    pub fn has_inbound(&self) -> bool {
+        self.from_peer.iter().any(|c| !c.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(rel: u32, from: WorkerId, vals: &[i64]) -> Batch {
+        Batch {
+            rel,
+            route: 0,
+            tuples: vals.iter().map(|&v| Tuple::from_ints(&[v])).collect(),
+            sent_at: Instant::now(),
+            from,
+        }
+    }
+
+    #[test]
+    fn point_to_point_delivery() {
+        let m = BufferMatrix::new(2, 16);
+        let mut e0 = m.claim(0);
+        let mut e1 = m.claim(1);
+        e0.to_peer[1].push(batch(0, 0, &[1, 2])).ok().unwrap();
+        let got = e1.from_peer[0].pop().unwrap();
+        assert_eq!(got.from, 0);
+        assert_eq!(got.tuples.len(), 2);
+        assert!(e1.from_peer[1].pop().is_none());
+        assert!(e0.from_peer[1].pop().is_none());
+    }
+
+    #[test]
+    fn self_send_works() {
+        let m = BufferMatrix::new(1, 4);
+        let mut e = m.claim(0);
+        e.to_peer[0].push(batch(7, 0, &[9])).ok().unwrap();
+        assert!(e.has_inbound());
+        let got = e.from_peer[0].pop().unwrap();
+        assert_eq!(got.rel, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "already claimed")]
+    fn double_claim_panics() {
+        let m = BufferMatrix::new(2, 4);
+        let _a = m.claim(1);
+        let _b = m.claim(1);
+    }
+
+    #[test]
+    fn inbound_accounting() {
+        let m = BufferMatrix::new(3, 8);
+        let mut e2 = m.claim(2);
+        assert!(m.inbound_empty(0));
+        e2.to_peer[0].push(batch(0, 2, &[1])).ok().unwrap();
+        assert!(!m.inbound_empty(0));
+        assert_eq!(m.inbound_len(0), 1);
+        assert!(m.inbound_empty(1));
+    }
+
+    #[test]
+    fn cross_thread_exchange() {
+        let m = BufferMatrix::new(2, 64);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut e0 = m.claim(0);
+                for i in 0..100 {
+                    while e0.to_peer[1].push(batch(0, 0, &[i])).is_err() {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+            s.spawn(|| {
+                let mut e1 = m.claim(1);
+                let mut seen = 0;
+                while seen < 100 {
+                    if let Some(b) = e1.from_peer[0].pop() {
+                        assert_eq!(b.tuples[0], Tuple::from_ints(&[seen]));
+                        seen += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        });
+    }
+}

@@ -1,0 +1,291 @@
+//! The Dynamic Weight-based Strategy controller (§4.2).
+//!
+//! Each worker owns a [`DwsController`] that models itself as a G/G/1
+//! queue. Producers stamp batches with their send time; the consumer folds
+//! per-source inter-arrival statistics `(λ_j, σ_a,j)`, aggregates them with
+//! Equation (1), combines with its own service statistics `(μ, σ_s)`, and
+//! sets
+//!
+//! * `ω_i = L_q` — Kingman's estimate of the mean queue length (Eq. 2),
+//! * `τ_i = L_q / λ = ω_i / λ` — the mean waiting time,
+//!
+//! so the worker waits for tuples only when the queueing model predicts a
+//! meaningful batch will form (Algorithm 2, lines 5–8), with a hard
+//! timeout as deadlock avoidance.
+
+use dcd_common::stats::Ewma;
+use std::time::{Duration, Instant};
+
+/// Tuning for the DWS controller.
+#[derive(Clone, Debug)]
+pub struct DwsConfig {
+    /// EWMA weight for arrival/service samples (non-stationary workload ⇒
+    /// favour recent samples).
+    pub ewma_alpha: f64,
+    /// Hard cap on `τ_i` — the deadlock-avoidance timeout of Alg. 2 l.7.
+    pub max_wait: Duration,
+    /// Cap on `ω_i` so a near-saturated queue (ρ → 1) cannot demand an
+    /// unbounded batch.
+    pub max_omega: usize,
+}
+
+impl Default for DwsConfig {
+    fn default() -> Self {
+        DwsConfig {
+            ewma_alpha: 0.25,
+            max_wait: Duration::from_millis(2),
+            max_omega: 1 << 16,
+        }
+    }
+}
+
+/// Per-source arrival tracker: `λ_j` and `σ_a,j` from batch timestamps.
+struct ArrivalTrack {
+    /// EWMA of per-tuple inter-arrival time (seconds).
+    inter: Ewma,
+    last: Option<Instant>,
+    /// Tuples received from this source since the last parameter update
+    /// (the `|M_i^j|` weight of Eq. 1).
+    recent: u64,
+}
+
+impl ArrivalTrack {
+    fn new(alpha: f64) -> Self {
+        ArrivalTrack {
+            inter: Ewma::new(alpha),
+            last: None,
+            recent: 0,
+        }
+    }
+}
+
+/// The per-worker DWS parameter estimator.
+pub struct DwsController {
+    cfg: DwsConfig,
+    arrivals: Vec<ArrivalTrack>,
+    /// EWMA of per-tuple service time (seconds).
+    service: Ewma,
+    omega: usize,
+    tau: Duration,
+}
+
+impl DwsController {
+    /// Creates a controller for a worker receiving from `sources` peers.
+    pub fn new(sources: usize, cfg: DwsConfig) -> Self {
+        let alpha = cfg.ewma_alpha;
+        DwsController {
+            arrivals: (0..sources).map(|_| ArrivalTrack::new(alpha)).collect(),
+            service: Ewma::new(alpha),
+            omega: 0,
+            tau: Duration::ZERO,
+            cfg,
+        }
+    }
+
+    /// Records the arrival of `ntuples` from source `from`, stamped
+    /// `sent_at` by the producer.
+    pub fn on_batch(&mut self, from: usize, ntuples: usize, sent_at: Instant) {
+        if ntuples == 0 {
+            return;
+        }
+        let track = &mut self.arrivals[from];
+        if let Some(prev) = track.last {
+            let gap = sent_at.saturating_duration_since(prev).as_secs_f64();
+            track.inter.push(gap / ntuples as f64);
+        }
+        track.last = Some(sent_at);
+        track.recent += ntuples as u64;
+    }
+
+    /// Records one completed local iteration that processed
+    /// `tuples_processed` delta tuples in `elapsed`.
+    pub fn on_iteration(&mut self, tuples_processed: usize, elapsed: Duration) {
+        if tuples_processed == 0 {
+            return;
+        }
+        self.service
+            .push(elapsed.as_secs_f64() / tuples_processed as f64);
+    }
+
+    /// Recomputes `ω_i` and `τ_i` (Algorithm 2, line 12).
+    pub fn update_params(&mut self) {
+        // Equation (1): weighted harmonic mean of per-source rates and the
+        // matching pooled variance, weighted by |M_i^j| (recent counts).
+        let mut weight_sum = 0.0;
+        let mut inv_rate_weighted = 0.0;
+        let mut var_weighted = 0.0;
+        for t in &mut self.arrivals {
+            if t.recent == 0 || !t.inter.is_primed() || t.inter.mean() <= 0.0 {
+                t.recent = 0;
+                continue;
+            }
+            let w = t.recent as f64;
+            let inter_mean = t.inter.mean(); // = 1/λ_j
+            weight_sum += w;
+            inv_rate_weighted += w * inter_mean;
+            var_weighted += w * (t.inter.variance() + inter_mean * inter_mean);
+            // Exponential decay of window counts between updates.
+            t.recent /= 2;
+        }
+        if weight_sum == 0.0 || !self.service.is_primed() || self.service.mean() <= 0.0 {
+            self.omega = 0;
+            self.tau = Duration::ZERO;
+            return;
+        }
+        let inv_lambda = inv_rate_weighted / weight_sum; // 1/λ
+        let lambda = 1.0 / inv_lambda;
+        let sigma_a2 = (var_weighted / weight_sum - inv_lambda * inv_lambda).max(0.0);
+
+        let mu = 1.0 / self.service.mean();
+        let sigma_s2 = self.service.variance();
+
+        let rho = lambda / mu;
+        if rho >= 1.0 {
+            // Saturated queue: waiting cannot pay off — proceed immediately.
+            self.omega = 0;
+            self.tau = Duration::ZERO;
+            return;
+        }
+        // Equation (2): Kingman.
+        let ca2 = lambda * lambda * sigma_a2;
+        let cs2 = mu * mu * sigma_s2;
+        let lq = rho * rho * (ca2 + cs2) / (2.0 * (1.0 - rho));
+        let omega = lq.round().max(0.0) as usize;
+        self.omega = omega.min(self.cfg.max_omega);
+        let tau = Duration::from_secs_f64((self.omega as f64 * inv_lambda).max(0.0));
+        self.tau = tau.min(self.cfg.max_wait);
+    }
+
+    /// Current threshold `ω_i`: proceed when the delta holds at least this
+    /// many tuples.
+    #[inline]
+    pub fn omega(&self) -> usize {
+        self.omega
+    }
+
+    /// Current wait budget `τ_i`.
+    #[inline]
+    pub fn tau(&self) -> Duration {
+        self.tau
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t0() -> Instant {
+        Instant::now()
+    }
+
+    #[test]
+    fn cold_controller_never_waits() {
+        let mut c = DwsController::new(3, DwsConfig::default());
+        c.update_params();
+        assert_eq!(c.omega(), 0);
+        assert_eq!(c.tau(), Duration::ZERO);
+    }
+
+    #[test]
+    fn saturated_queue_disables_waiting() {
+        let mut c = DwsController::new(1, DwsConfig::default());
+        let base = t0();
+        // Arrivals every 1 µs per tuple, service 1 ms per tuple ⇒ ρ ≫ 1.
+        for i in 1..20 {
+            c.on_batch(0, 1, base + Duration::from_micros(i));
+        }
+        c.on_iteration(10, Duration::from_millis(10));
+        c.update_params();
+        assert_eq!(c.omega(), 0, "ρ ≥ 1 must disable waiting");
+    }
+
+    #[test]
+    fn stable_queue_yields_positive_params() {
+        let mut c = DwsController::new(1, DwsConfig::default());
+        let base = t0();
+        // Bursty arrivals (alternating 100 µs / 1900 µs gaps ⇒ mean 1 ms,
+        // high C_a²) with service at 0.9 ms/tuple ⇒ ρ = 0.9: Kingman
+        // predicts a queue of a few tuples.
+        let mut ts = base;
+        for i in 0..200 {
+            ts += Duration::from_micros(if i % 2 == 0 { 100 } else { 1900 });
+            c.on_batch(0, 1, ts);
+            if i % 5 == 0 {
+                c.on_iteration(5, Duration::from_micros(4500));
+            }
+        }
+        c.update_params();
+        // With ρ near 1 and high arrival variability, Kingman predicts a
+        // positive queue.
+        assert!(c.omega() >= 1, "omega = {}", c.omega());
+        assert!(c.tau() > Duration::ZERO);
+        assert!(c.tau() <= DwsConfig::default().max_wait);
+    }
+
+    #[test]
+    fn low_utilization_queue_predicts_no_waiting() {
+        let mut c = DwsController::new(1, DwsConfig::default());
+        let base = t0();
+        // Steady arrivals every 1 ms, service 0.4 ms ⇒ ρ = 0.4, low
+        // variability: L_q ≈ 0 ⇒ proceed immediately.
+        let mut ts = base;
+        for i in 0..100 {
+            ts += Duration::from_millis(1);
+            c.on_batch(0, 1, ts);
+            if i % 5 == 0 {
+                c.on_iteration(5, Duration::from_micros(2000));
+            }
+        }
+        c.update_params();
+        assert_eq!(c.omega(), 0);
+    }
+
+    #[test]
+    fn tau_capped_by_max_wait() {
+        let cfg = DwsConfig {
+            max_wait: Duration::from_micros(50),
+            ..DwsConfig::default()
+        };
+        let mut c = DwsController::new(1, cfg);
+        let base = t0();
+        let mut ts = base;
+        for i in 0..100 {
+            // Slow, bursty arrivals: 10 ms apart ⇒ τ would be large.
+            ts += Duration::from_millis(10);
+            c.on_batch(0, 1, ts);
+            if i % 10 == 0 {
+                c.on_iteration(10, Duration::from_millis(5));
+            }
+        }
+        c.update_params();
+        assert!(c.tau() <= Duration::from_micros(50));
+    }
+
+    #[test]
+    fn empty_batches_ignored() {
+        let mut c = DwsController::new(2, DwsConfig::default());
+        c.on_batch(0, 0, t0());
+        c.on_iteration(0, Duration::from_millis(1));
+        c.update_params();
+        assert_eq!(c.omega(), 0);
+    }
+
+    #[test]
+    fn multi_source_weights_by_volume() {
+        let mut c = DwsController::new(2, DwsConfig::default());
+        let base = t0();
+        let mut ts = base;
+        // Source 0: high volume, steady. Source 1: trickle.
+        for i in 0..100 {
+            ts += Duration::from_micros(100);
+            c.on_batch(0, 10, ts);
+            if i % 20 == 0 {
+                c.on_batch(1, 1, ts);
+            }
+        }
+        c.on_iteration(1000, Duration::from_micros(500));
+        c.update_params();
+        // Should produce a finite, bounded configuration.
+        assert!(c.omega() <= DwsConfig::default().max_omega);
+    }
+}

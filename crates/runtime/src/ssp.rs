@@ -1,0 +1,176 @@
+//! The Stale-Synchronous-Parallel clock (§4.1, after Das & Zaniolo \[14\]).
+//!
+//! SSP relaxes the global barrier: a worker may run at most `s` local
+//! iterations ahead of the slowest *active* worker. Workers that reached a
+//! local fixpoint step aside (their clock reads "finished") so they do not
+//! hold anyone back, and rejoin at the global frontier when reactivated by
+//! incoming tuples.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const FINISHED: u64 = u64::MAX;
+
+/// Per-worker iteration counters with bounded-staleness waiting.
+pub struct SspClock {
+    iters: Vec<AtomicU64>,
+    s: u64,
+}
+
+impl SspClock {
+    /// Creates a clock for `n` workers with staleness bound `s`.
+    pub fn new(n: usize, s: usize) -> Self {
+        SspClock {
+            iters: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            s: s as u64,
+        }
+    }
+
+    /// The staleness bound.
+    pub fn staleness(&self) -> usize {
+        self.s as usize
+    }
+
+    /// Current iteration of `w` (or `None` if finished).
+    pub fn iteration(&self, w: usize) -> Option<u64> {
+        match self.iters[w].load(Ordering::Acquire) {
+            FINISHED => None,
+            v => Some(v),
+        }
+    }
+
+    /// Minimum iteration over all unfinished workers (or `None` when all
+    /// finished).
+    pub fn frontier(&self) -> Option<u64> {
+        self.iters
+            .iter()
+            .map(|a| a.load(Ordering::Acquire))
+            .filter(|&v| v != FINISHED)
+            .min()
+    }
+
+    /// Marks worker `w` as having completed one more local iteration.
+    pub fn advance(&self, w: usize) {
+        let cur = self.iters[w].load(Ordering::Relaxed);
+        debug_assert_ne!(cur, FINISHED, "advance after finish without rejoin");
+        self.iters[w].store(cur + 1, Ordering::Release);
+    }
+
+    /// Marks worker `w` as locally finished (empty delta); it no longer
+    /// constrains the frontier.
+    pub fn finish(&self, w: usize) {
+        self.iters[w].store(FINISHED, Ordering::Release);
+    }
+
+    /// Reactivates worker `w` at the current frontier after new tuples
+    /// arrived for it.
+    pub fn rejoin(&self, w: usize) {
+        let frontier = self.frontier().unwrap_or(0);
+        self.iters[w].store(frontier, Ordering::Release);
+    }
+
+    /// Blocks while `w` is more than `s` iterations ahead of the frontier.
+    /// Polls with short sleeps (the SSP baseline is coordination-heavy by
+    /// design). Returns `false` if `should_abort` fired.
+    pub fn wait_if_ahead(&self, w: usize, mut should_abort: impl FnMut() -> bool) -> bool {
+        loop {
+            let mine = self.iters[w].load(Ordering::Acquire);
+            if mine == FINISHED {
+                return true;
+            }
+            match self.frontier() {
+                Some(f) if mine > f + self.s => {
+                    if should_abort() {
+                        return false;
+                    }
+                    std::thread::sleep(Duration::from_micros(20));
+                }
+                _ => return true,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn frontier_tracks_minimum() {
+        let c = SspClock::new(3, 1);
+        assert_eq!(c.frontier(), Some(0));
+        c.advance(0);
+        c.advance(0);
+        c.advance(1);
+        assert_eq!(c.frontier(), Some(0));
+        c.advance(2);
+        assert_eq!(c.frontier(), Some(1));
+    }
+
+    #[test]
+    fn finished_workers_do_not_constrain() {
+        let c = SspClock::new(2, 0);
+        c.finish(1);
+        c.advance(0);
+        c.advance(0);
+        assert_eq!(c.frontier(), Some(2));
+        assert!(c.wait_if_ahead(0, || false));
+    }
+
+    #[test]
+    fn all_finished_frontier_is_none() {
+        let c = SspClock::new(2, 1);
+        c.finish(0);
+        c.finish(1);
+        assert_eq!(c.frontier(), None);
+        assert_eq!(c.iteration(0), None);
+    }
+
+    #[test]
+    fn rejoin_lands_on_frontier() {
+        let c = SspClock::new(3, 1);
+        c.advance(0);
+        c.advance(0);
+        c.advance(1);
+        c.finish(2);
+        c.rejoin(2);
+        assert_eq!(c.iteration(2), Some(1));
+    }
+
+    #[test]
+    fn wait_if_ahead_blocks_until_frontier_moves() {
+        let c = Arc::new(SspClock::new(2, 1));
+        // Worker 0 is 3 ahead of worker 1 (s = 1): must wait.
+        c.advance(0);
+        c.advance(0);
+        c.advance(0);
+        let released = Arc::new(AtomicBool::new(false));
+        let c2 = Arc::clone(&c);
+        let r2 = Arc::clone(&released);
+        let h = std::thread::spawn(move || {
+            let ok = c2.wait_if_ahead(0, || false);
+            r2.store(true, Ordering::SeqCst);
+            ok
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(!released.load(Ordering::SeqCst), "should still be blocked");
+        c.advance(1);
+        c.advance(1);
+        assert!(h.join().unwrap());
+    }
+
+    #[test]
+    fn abort_unblocks() {
+        let c = SspClock::new(2, 0);
+        c.advance(0);
+        c.advance(0);
+        let mut calls = 0;
+        let ok = c.wait_if_ahead(0, || {
+            calls += 1;
+            calls > 3
+        });
+        assert!(!ok);
+    }
+}

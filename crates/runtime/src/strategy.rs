@@ -1,0 +1,69 @@
+//! Coordination strategy selection (§4).
+
+use crate::dws::DwsConfig;
+
+/// How workers coordinate between local iterations of the parallel
+/// semi-naive evaluation.
+#[derive(Clone, Debug, Default)]
+pub enum Strategy {
+    /// Algorithm 1: a global barrier after every iteration (the paper's
+    /// `Global` baseline, coordination-wise equivalent to DeALS-MC).
+    Global,
+    /// Stale-Synchronous Parallel: fast workers may run up to `s` local
+    /// iterations ahead of the slowest active worker (§4.1).
+    Ssp {
+        /// Staleness bound; the paper tunes `s = 5` empirically.
+        s: usize,
+    },
+    /// The paper's contribution: Dynamic Weight-based Strategy with
+    /// on-the-fly `ω_i`/`τ_i` from queueing theory (§4.2).
+    #[default]
+    Dws,
+    /// DWS with explicit tuning.
+    DwsWith(DwsConfig),
+}
+
+impl Strategy {
+    /// Short display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Global => "Global",
+            Strategy::Ssp { .. } => "SSP",
+            Strategy::Dws | Strategy::DwsWith(_) => "DWS",
+        }
+    }
+
+    /// DWS configuration if this strategy is DWS-based.
+    pub fn dws_config(&self) -> Option<DwsConfig> {
+        match self {
+            Strategy::Dws => Some(DwsConfig::default()),
+            Strategy::DwsWith(cfg) => Some(cfg.clone()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(Strategy::Global.name(), "Global");
+        assert_eq!(Strategy::Ssp { s: 5 }.name(), "SSP");
+        assert_eq!(Strategy::Dws.name(), "DWS");
+        assert_eq!(Strategy::DwsWith(DwsConfig::default()).name(), "DWS");
+    }
+
+    #[test]
+    fn dws_config_only_for_dws() {
+        assert!(Strategy::Global.dws_config().is_none());
+        assert!(Strategy::Ssp { s: 1 }.dws_config().is_none());
+        assert!(Strategy::Dws.dws_config().is_some());
+    }
+
+    #[test]
+    fn default_is_dws() {
+        assert_eq!(Strategy::default().name(), "DWS");
+    }
+}

@@ -1,0 +1,369 @@
+//! Aggregates-in-recursion storage (§6.2.1).
+//!
+//! The paper stores aggregate information *inside the index* so the Gather
+//! operator merges partial aggregates by index lookup instead of a linear
+//! scan:
+//!
+//! * `min`/`max` — the index keyed by the group-by key holds the current
+//!   extremum; a merge emits a delta only when the extremum improves.
+//!   This is DeALS-style monotonic aggregation, so the fixpoint is exact.
+//! * `sum`/`count` — two indexes (paper: "one on the group-by key, the
+//!   other on the attribute value that is incrementally computed"): the
+//!   group index holds the running total plus a per-contributor map, so a
+//!   re-contribution from the same source *replaces* its previous value
+//!   rather than double-counting. `sum` deltas fire when the total moves by
+//!   more than a caller-chosen ε (PageRank's convergence test); `count`
+//!   deltas fire whenever the number of distinct contributors grows.
+
+use crate::bptree::BPlusTree;
+use dcd_common::hash::{combine, FastMap};
+use dcd_common::{Tuple, Value};
+
+/// The four aggregate functions supported in recursive rule heads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// Monotonically decreasing extremum.
+    Min,
+    /// Monotonically increasing extremum.
+    Max,
+    /// Monotonic sum over distinct contributors (contributions may be
+    /// revised; the total converges under damping).
+    Sum,
+    /// Count of distinct contributors.
+    Count,
+}
+
+/// Per-group aggregate state stored in the index leaf.
+#[derive(Clone, Debug)]
+pub enum AggState {
+    /// Current extremum for `min`/`max`.
+    Extremum(Value),
+    /// Contributor map + running total for `sum`/`count`.
+    Contributions {
+        /// Second index of §6.2.1: contributor key → its latest value.
+        contribs: FastMap<u64, f64>,
+        /// Running total (for `count` this equals `contribs.len()`).
+        total: f64,
+        /// The last total that was emitted as a delta.
+        emitted: f64,
+    },
+}
+
+impl AggState {
+    /// The current aggregate value.
+    pub fn value(&self, func: AggFunc) -> Value {
+        match self {
+            AggState::Extremum(v) => *v,
+            AggState::Contributions { total, .. } => match func {
+                AggFunc::Count => Value::Int(*total as i64),
+                _ => Value::Float(*total),
+            },
+        }
+    }
+}
+
+/// A recursive relation whose head carries an aggregate.
+///
+/// Tuples entering [`AggRelation::merge`] are laid out by the planner as
+/// `(group columns…, [contributor,] aggregated value)`; the relation's
+/// logical rows are `(group columns…, aggregate value)`.
+pub struct AggRelation {
+    func: AggFunc,
+    /// Number of leading group-by columns.
+    group_cols: usize,
+    /// ε for `sum` delta emission (0 ⇒ emit on any change).
+    epsilon: f64,
+    /// Group index: hash of group columns → bucket of (group, state).
+    index: BPlusTree<Vec<(Tuple, AggState)>>,
+    groups: usize,
+}
+
+/// Outcome of merging one partial-aggregate tuple.
+#[derive(Debug, PartialEq)]
+pub enum MergeOutcome {
+    /// The group's aggregate changed; the new logical row should enter the
+    /// delta relation.
+    Updated(Tuple),
+    /// No improvement/change — tuple absorbed silently.
+    Unchanged,
+}
+
+impl AggRelation {
+    /// Creates an aggregate relation.
+    ///
+    /// * `group_cols` — number of leading group-by columns of incoming
+    ///   tuples.
+    /// * `epsilon` — minimum total movement for a `sum` delta (ignored for
+    ///   other functions).
+    pub fn new(func: AggFunc, group_cols: usize, epsilon: f64) -> Self {
+        AggRelation {
+            func,
+            group_cols,
+            epsilon,
+            index: BPlusTree::new(),
+            groups: 0,
+        }
+    }
+
+    /// The aggregate function.
+    #[inline]
+    pub fn func(&self) -> AggFunc {
+        self.func
+    }
+
+    /// Number of groups materialized so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.groups
+    }
+
+    /// Whether no group exists yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.groups == 0
+    }
+
+    /// Hash of the group-by prefix of `t`.
+    fn group_hash(&self, t: &Tuple) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325;
+        for v in &t.values()[..self.group_cols] {
+            h = combine(h, v.key_bits());
+        }
+        h
+    }
+
+    /// Current aggregate value for the group-by prefix of `probe`
+    /// (`probe` needs only `group_cols` leading columns).
+    pub fn get(&self, probe: &Tuple) -> Option<Value> {
+        let h = self.group_hash(probe);
+        let bucket = self.index.get(h)?;
+        bucket
+            .iter()
+            .find(|(g, _)| g.values() == &probe.values()[..self.group_cols])
+            .map(|(_, s)| s.value(self.func))
+    }
+
+    /// Merges one incoming partial tuple
+    /// (`(group…, value)` for min/max; `(group…, contributor, value)` for
+    /// sum/count).
+    pub fn merge(&mut self, t: &Tuple) -> MergeOutcome {
+        let h = self.group_hash(t);
+        let group = t.project(&(0..self.group_cols).collect::<Vec<_>>());
+        let func = self.func;
+        let eps = self.epsilon;
+        let bucket = self.index.or_insert_with(h, Vec::new);
+        let slot = bucket.iter_mut().find(|(g, _)| *g == group);
+        match func {
+            AggFunc::Min | AggFunc::Max => {
+                let new = t.values()[self.group_cols];
+                match slot {
+                    None => {
+                        bucket.push((group.clone(), AggState::Extremum(new)));
+                        self.groups += 1;
+                        MergeOutcome::Updated(group.concat(&Tuple::new(&[new])))
+                    }
+                    Some((_, AggState::Extremum(cur))) => {
+                        let better = match func {
+                            AggFunc::Min => new < *cur,
+                            _ => new > *cur,
+                        };
+                        if better {
+                            *cur = new;
+                            MergeOutcome::Updated(group.concat(&Tuple::new(&[new])))
+                        } else {
+                            MergeOutcome::Unchanged
+                        }
+                    }
+                    Some((_, AggState::Contributions { .. })) => {
+                        unreachable!("extremum relation holds extremum states")
+                    }
+                }
+            }
+            AggFunc::Sum | AggFunc::Count => {
+                let contributor = t.values()[self.group_cols].key_bits();
+                let val = match func {
+                    AggFunc::Count => 1.0,
+                    _ => t.values()[self.group_cols + 1].as_f64(),
+                };
+                let state = match slot {
+                    Some((_, s)) => s,
+                    None => {
+                        bucket.push((
+                            group.clone(),
+                            AggState::Contributions {
+                                contribs: FastMap::default(),
+                                total: 0.0,
+                                emitted: f64::NEG_INFINITY,
+                            },
+                        ));
+                        self.groups += 1;
+                        &mut bucket.last_mut().expect("just pushed").1
+                    }
+                };
+                let AggState::Contributions {
+                    contribs,
+                    total,
+                    emitted,
+                } = state
+                else {
+                    unreachable!("contribution relation holds contribution states")
+                };
+                match func {
+                    AggFunc::Count => {
+                        if contribs.insert(contributor, 1.0).is_some() {
+                            return MergeOutcome::Unchanged;
+                        }
+                        *total = contribs.len() as f64;
+                        *emitted = *total;
+                        MergeOutcome::Updated(
+                            group.concat(&Tuple::new(&[Value::Int(*total as i64)])),
+                        )
+                    }
+                    _ => {
+                        let old = contribs.insert(contributor, val).unwrap_or(0.0);
+                        *total += val - old;
+                        if (*total - *emitted).abs() > eps {
+                            *emitted = *total;
+                            MergeOutcome::Updated(
+                                group.concat(&Tuple::new(&[Value::Float(*total)])),
+                            )
+                        } else {
+                            MergeOutcome::Unchanged
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Iterates the logical rows `(group…, aggregate value)`.
+    pub fn iter(&self) -> impl Iterator<Item = Tuple> + '_ {
+        self.index.iter().flat_map(move |(_, bucket)| {
+            bucket
+                .iter()
+                .map(move |(g, s)| g.concat(&Tuple::new(&[s.value(self.func)])))
+        })
+    }
+
+    /// Collects all logical rows.
+    pub fn rows(&self) -> Vec<Tuple> {
+        self.iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_keeps_smallest_and_reports_updates() {
+        let mut r = AggRelation::new(AggFunc::Min, 1, 0.0);
+        assert_eq!(
+            r.merge(&Tuple::from_ints(&[1, 10])),
+            MergeOutcome::Updated(Tuple::from_ints(&[1, 10]))
+        );
+        assert_eq!(r.merge(&Tuple::from_ints(&[1, 12])), MergeOutcome::Unchanged);
+        assert_eq!(
+            r.merge(&Tuple::from_ints(&[1, 7])),
+            MergeOutcome::Updated(Tuple::from_ints(&[1, 7]))
+        );
+        assert_eq!(r.get(&Tuple::from_ints(&[1])), Some(Value::Int(7)));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn max_mirror_of_min() {
+        let mut r = AggRelation::new(AggFunc::Max, 1, 0.0);
+        r.merge(&Tuple::from_ints(&[5, 1]));
+        assert_eq!(r.merge(&Tuple::from_ints(&[5, 0])), MergeOutcome::Unchanged);
+        assert!(matches!(
+            r.merge(&Tuple::from_ints(&[5, 9])),
+            MergeOutcome::Updated(_)
+        ));
+        assert_eq!(r.get(&Tuple::from_ints(&[5])), Some(Value::Int(9)));
+    }
+
+    #[test]
+    fn multi_column_groups() {
+        // APSP: group = (A, B), min distance.
+        let mut r = AggRelation::new(AggFunc::Min, 2, 0.0);
+        r.merge(&Tuple::from_ints(&[1, 2, 30]));
+        r.merge(&Tuple::from_ints(&[1, 3, 40]));
+        r.merge(&Tuple::from_ints(&[1, 2, 25]));
+        assert_eq!(r.get(&Tuple::from_ints(&[1, 2])), Some(Value::Int(25)));
+        assert_eq!(r.get(&Tuple::from_ints(&[1, 3])), Some(Value::Int(40)));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn count_counts_distinct_contributors() {
+        // Attend: cnt(Y, count<X>).
+        let mut r = AggRelation::new(AggFunc::Count, 1, 0.0);
+        assert_eq!(
+            r.merge(&Tuple::from_ints(&[1, 100])),
+            MergeOutcome::Updated(Tuple::from_ints(&[1, 1]))
+        );
+        // Same contributor again: no change.
+        assert_eq!(r.merge(&Tuple::from_ints(&[1, 100])), MergeOutcome::Unchanged);
+        assert_eq!(
+            r.merge(&Tuple::from_ints(&[1, 101])),
+            MergeOutcome::Updated(Tuple::from_ints(&[1, 2]))
+        );
+        assert_eq!(r.get(&Tuple::from_ints(&[1])), Some(Value::Int(2)));
+    }
+
+    #[test]
+    fn sum_replaces_contributions() {
+        // PageRank-style: rank(X, sum<(Y, K)>).
+        let mut r = AggRelation::new(AggFunc::Sum, 1, 0.0);
+        r.merge(&Tuple::new(&[Value::Int(1), Value::Int(7), Value::Float(0.5)]));
+        r.merge(&Tuple::new(&[Value::Int(1), Value::Int(8), Value::Float(0.25)]));
+        assert_eq!(r.get(&Tuple::from_ints(&[1])), Some(Value::Float(0.75)));
+        // Contributor 7 revises its contribution: replaced, not added.
+        let out = r.merge(&Tuple::new(&[Value::Int(1), Value::Int(7), Value::Float(0.1)]));
+        assert!(matches!(out, MergeOutcome::Updated(_)));
+        let v = r.get(&Tuple::from_ints(&[1])).unwrap().as_f64();
+        assert!((v - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_epsilon_suppresses_tiny_deltas() {
+        let mut r = AggRelation::new(AggFunc::Sum, 1, 0.1);
+        let first = r.merge(&Tuple::new(&[Value::Int(1), Value::Int(2), Value::Float(1.0)]));
+        assert!(matches!(first, MergeOutcome::Updated(_)));
+        // Moves the total by 0.05 < ε: suppressed.
+        let tiny = r.merge(&Tuple::new(&[
+            Value::Int(1),
+            Value::Int(2),
+            Value::Float(1.05),
+        ]));
+        assert_eq!(tiny, MergeOutcome::Unchanged);
+        // Moves it by 0.95 > ε from last emission: fires.
+        let big = r.merge(&Tuple::new(&[
+            Value::Int(1),
+            Value::Int(2),
+            Value::Float(1.95),
+        ]));
+        assert!(matches!(big, MergeOutcome::Updated(_)));
+    }
+
+    #[test]
+    fn rows_reflect_current_aggregates() {
+        let mut r = AggRelation::new(AggFunc::Min, 1, 0.0);
+        r.merge(&Tuple::from_ints(&[1, 10]));
+        r.merge(&Tuple::from_ints(&[2, 20]));
+        r.merge(&Tuple::from_ints(&[1, 5]));
+        let mut rows = r.rows();
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![Tuple::from_ints(&[1, 5]), Tuple::from_ints(&[2, 20])]
+        );
+    }
+
+    #[test]
+    fn get_on_missing_group() {
+        let r = AggRelation::new(AggFunc::Min, 1, 0.0);
+        assert_eq!(r.get(&Tuple::from_ints(&[42])), None);
+    }
+}

@@ -1,0 +1,158 @@
+//! Immutable base (EDB) relation partitions with hash indexes.
+//!
+//! Algorithm 1 line 3: "Construct Index for each partition of B on the
+//! partition key". Base relations never change during evaluation, so each
+//! worker gets an immutable slice of the EDB (selected by the partitioner
+//! on the join column) plus hash indexes built once up front.
+
+use dcd_common::hash::FastMap;
+use dcd_common::{Partitioner, Tuple};
+
+/// An immutable partition of an EDB relation, with hash indexes on demand.
+#[derive(Default)]
+pub struct BaseRelation {
+    rows: Vec<Tuple>,
+    /// `indexes[col]` maps key bits of column `col` to row ids.
+    indexes: FastMap<usize, FastMap<u64, Vec<u32>>>,
+}
+
+impl BaseRelation {
+    /// Builds a relation from rows.
+    pub fn from_rows(rows: Vec<Tuple>) -> Self {
+        BaseRelation {
+            rows,
+            indexes: FastMap::default(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the partition holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All rows.
+    #[inline]
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Builds (idempotently) a hash index on `col`.
+    pub fn build_index(&mut self, col: usize) {
+        if self.indexes.contains_key(&col) {
+            return;
+        }
+        let mut idx: FastMap<u64, Vec<u32>> = FastMap::default();
+        for (i, row) in self.rows.iter().enumerate() {
+            idx.entry(row.key(col)).or_default().push(i as u32);
+        }
+        self.indexes.insert(col, idx);
+    }
+
+    /// Whether an index exists on `col`.
+    pub fn has_index(&self, col: usize) -> bool {
+        self.indexes.contains_key(&col)
+    }
+
+    /// Probes the index on `col` for `key`, returning the matching rows.
+    /// Panics if the index was not built (a planner bug, not a user error).
+    pub fn probe(&self, col: usize, key: u64) -> impl Iterator<Item = &Tuple> {
+        let ids = self
+            .indexes
+            .get(&col)
+            .expect("probe on unindexed column")
+            .get(&key)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[]);
+        ids.iter().map(move |&i| &self.rows[i as usize])
+    }
+
+    /// Splits `rows` into per-worker partitions by `H(row[col])`
+    /// (Algorithm 1, line 2).
+    pub fn partition(rows: &[Tuple], part: &Partitioner, col: usize) -> Vec<BaseRelation> {
+        let n = part.partitions();
+        let mut out: Vec<Vec<Tuple>> = (0..n).map(|_| Vec::new()).collect();
+        for row in rows {
+            out[part.of_key(row.key(col))].push(row.clone());
+        }
+        out.into_iter().map(BaseRelation::from_rows).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edges() -> Vec<Tuple> {
+        vec![
+            Tuple::from_ints(&[1, 2]),
+            Tuple::from_ints(&[1, 3]),
+            Tuple::from_ints(&[2, 3]),
+            Tuple::from_ints(&[3, 1]),
+        ]
+    }
+
+    #[test]
+    fn probe_finds_all_matches() {
+        let mut r = BaseRelation::from_rows(edges());
+        r.build_index(0);
+        let hits: Vec<&Tuple> = r.probe(0, Tuple::from_ints(&[1]).key(0)).collect();
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|t| t[0].expect_int() == 1));
+    }
+
+    #[test]
+    fn probe_missing_key_is_empty() {
+        let mut r = BaseRelation::from_rows(edges());
+        r.build_index(1);
+        assert_eq!(r.probe(1, 99).count(), 0);
+    }
+
+    #[test]
+    fn build_index_is_idempotent() {
+        let mut r = BaseRelation::from_rows(edges());
+        r.build_index(0);
+        r.build_index(0);
+        assert!(r.has_index(0));
+        assert_eq!(r.probe(0, Tuple::from_ints(&[2]).key(0)).count(), 1);
+    }
+
+    #[test]
+    fn multiple_indexes_coexist() {
+        let mut r = BaseRelation::from_rows(edges());
+        r.build_index(0);
+        r.build_index(1);
+        assert_eq!(r.probe(1, Tuple::from_ints(&[0, 3]).key(1)).count(), 2);
+        assert_eq!(r.probe(0, Tuple::from_ints(&[3]).key(0)).count(), 1);
+    }
+
+    #[test]
+    fn partition_is_exhaustive_and_disjoint() {
+        let rows = edges();
+        let part = Partitioner::new(3);
+        let parts = BaseRelation::partition(&rows, &part, 0);
+        assert_eq!(parts.len(), 3);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, rows.len());
+        // Every row sits in the partition its key hashes to.
+        for (w, p) in parts.iter().enumerate() {
+            for row in p.rows() {
+                assert_eq!(part.of_key(row.key(0)), w);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_relation() {
+        let mut r = BaseRelation::from_rows(vec![]);
+        r.build_index(0);
+        assert!(r.is_empty());
+        assert_eq!(r.probe(0, 0).count(), 0);
+    }
+}

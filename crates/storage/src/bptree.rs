@@ -1,0 +1,625 @@
+//! A from-scratch B+-tree keyed by `u64`.
+//!
+//! The paper's storage layer (§3) indexes every recursive relation with a
+//! B+-tree on the partition/join key; §6.2.1 additionally stores aggregate
+//! information inside the index so aggregates are computed by index lookups
+//! instead of linear scans. This module provides that tree: keys are the
+//! 64-bit canonical key bits of a join key, values are whatever the caller
+//! stores in the leaves (tuple buckets, aggregate states, …).
+//!
+//! Design notes:
+//! * Order `MAX_KEYS = 31`: leaves and internals hold at most 31 keys, so a
+//!   node split produces two nodes of ≥ 15 keys. Nodes are boxed; children
+//!   of internal nodes are owned boxes, which keeps the implementation in
+//!   safe Rust (no leaf sibling pointers — ordered iteration walks a stack).
+//! * `insert`/`get`/`get_mut`/`remove` are all O(log n); `iter` yields
+//!   entries in ascending key order.
+//! * Deletion implements proper rebalancing (borrow from sibling, else
+//!   merge), verified against `std::collections::BTreeMap` by property
+//!   tests.
+
+#![allow(clippy::vec_box)] // children must be boxed: Node<V> is recursive, and moving nodes during splits must stay O(1)
+
+const MAX_KEYS: usize = 31;
+const MIN_KEYS: usize = MAX_KEYS / 2; // 15
+
+enum Node<V> {
+    Leaf {
+        keys: Vec<u64>,
+        vals: Vec<V>,
+    },
+    Internal {
+        /// `keys[i]` separates `children[i]` (keys < `keys[i]`) from
+        /// `children[i+1]` (keys ≥ `keys[i]`).
+        keys: Vec<u64>,
+        children: Vec<Box<Node<V>>>,
+    },
+}
+
+impl<V> Node<V> {
+    fn new_leaf() -> Self {
+        Node::Leaf {
+            keys: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf { .. })
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Node::Leaf { keys, .. } => keys.len(),
+            Node::Internal { keys, .. } => keys.len(),
+        }
+    }
+}
+
+/// Result of inserting into a subtree: either done, or the child split and
+/// hands the new separator + right sibling up to the parent.
+enum InsertResult<V> {
+    Done(Option<V>),
+    Split {
+        sep: u64,
+        right: Box<Node<V>>,
+        replaced: Option<V>,
+    },
+}
+
+/// A B+-tree map from `u64` keys to `V`.
+pub struct BPlusTree<V> {
+    root: Box<Node<V>>,
+    len: usize,
+}
+
+impl<V> Default for BPlusTree<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> BPlusTree<V> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        BPlusTree {
+            root: Box::new(Node::new_leaf()),
+            len: 0,
+        }
+    }
+
+    /// Number of key/value entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: u64) -> Option<&V> {
+        let mut node = &*self.root;
+        loop {
+            match node {
+                Node::Leaf { keys, vals } => {
+                    return keys.binary_search(&key).ok().map(|i| &vals[i]);
+                }
+                Node::Internal { keys, children } => {
+                    let idx = child_index(keys, key);
+                    node = &children[idx];
+                }
+            }
+        }
+    }
+
+    /// Mutable lookup of `key`.
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        let mut node = &mut *self.root;
+        loop {
+            match node {
+                Node::Leaf { keys, vals } => {
+                    return keys.binary_search(&key).ok().map(|i| &mut vals[i]);
+                }
+                Node::Internal { keys, children } => {
+                    let idx = child_index(keys, key);
+                    node = &mut children[idx];
+                }
+            }
+        }
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts `key → value`, returning the previous value if any.
+    pub fn insert(&mut self, key: u64, value: V) -> Option<V> {
+        match Self::insert_rec(&mut self.root, key, value) {
+            InsertResult::Done(replaced) => {
+                if replaced.is_none() {
+                    self.len += 1;
+                }
+                replaced
+            }
+            InsertResult::Split {
+                sep,
+                right,
+                replaced,
+            } => {
+                // Grow a new root: the old root becomes the left child.
+                let old_root = std::mem::replace(
+                    &mut self.root,
+                    Box::new(Node::Internal {
+                        keys: vec![sep],
+                        children: Vec::with_capacity(2),
+                    }),
+                );
+                if let Node::Internal { children, .. } = &mut *self.root {
+                    children.push(old_root);
+                    children.push(right);
+                }
+                if replaced.is_none() {
+                    self.len += 1;
+                }
+                replaced
+            }
+        }
+    }
+
+    /// Returns a mutable reference to the value at `key`, inserting
+    /// `default()` first if absent.
+    pub fn or_insert_with(&mut self, key: u64, default: impl FnOnce() -> V) -> &mut V {
+        if !self.contains_key(key) {
+            self.insert(key, default());
+        }
+        self.get_mut(key).expect("just inserted")
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        let removed = Self::remove_rec(&mut self.root, key);
+        if removed.is_some() {
+            self.len -= 1;
+            // Shrink the root if it became a single-child internal node.
+            let collapse = match &*self.root {
+                Node::Internal { children, .. } => children.len() == 1,
+                Node::Leaf { .. } => false,
+            };
+            if collapse {
+                let root = std::mem::replace(&mut self.root, Box::new(Node::new_leaf()));
+                if let Node::Internal { mut children, .. } = *root {
+                    self.root = children.pop().expect("one child");
+                }
+            }
+        }
+        removed
+    }
+
+    /// Iterates entries in ascending key order.
+    pub fn iter(&self) -> Iter<'_, V> {
+        Iter {
+            stack: vec![(&*self.root, 0usize)],
+            primed: false,
+        }
+    }
+
+    fn insert_rec(node: &mut Node<V>, key: u64, value: V) -> InsertResult<V> {
+        match node {
+            Node::Leaf { keys, vals } => match keys.binary_search(&key) {
+                Ok(i) => InsertResult::Done(Some(std::mem::replace(&mut vals[i], value))),
+                Err(i) => {
+                    keys.insert(i, key);
+                    vals.insert(i, value);
+                    if keys.len() > MAX_KEYS {
+                        let mid = keys.len() / 2;
+                        let right_keys = keys.split_off(mid);
+                        let right_vals = vals.split_off(mid);
+                        let sep = right_keys[0];
+                        InsertResult::Split {
+                            sep,
+                            right: Box::new(Node::Leaf {
+                                keys: right_keys,
+                                vals: right_vals,
+                            }),
+                            replaced: None,
+                        }
+                    } else {
+                        InsertResult::Done(None)
+                    }
+                }
+            },
+            Node::Internal { keys, children } => {
+                let idx = child_index(keys, key);
+                match Self::insert_rec(&mut children[idx], key, value) {
+                    InsertResult::Done(r) => InsertResult::Done(r),
+                    InsertResult::Split {
+                        sep,
+                        right,
+                        replaced,
+                    } => {
+                        keys.insert(idx, sep);
+                        children.insert(idx + 1, right);
+                        if keys.len() > MAX_KEYS {
+                            let mid = keys.len() / 2;
+                            // Middle key moves up; children split after mid.
+                            let up = keys[mid];
+                            let right_keys = keys.split_off(mid + 1);
+                            keys.pop(); // drop `up` from the left node
+                            let right_children = children.split_off(mid + 1);
+                            InsertResult::Split {
+                                sep: up,
+                                right: Box::new(Node::Internal {
+                                    keys: right_keys,
+                                    children: right_children,
+                                }),
+                                replaced,
+                            }
+                        } else {
+                            InsertResult::Done(replaced)
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn remove_rec(node: &mut Node<V>, key: u64) -> Option<V> {
+        match node {
+            Node::Leaf { keys, vals } => match keys.binary_search(&key) {
+                Ok(i) => {
+                    keys.remove(i);
+                    Some(vals.remove(i))
+                }
+                Err(_) => None,
+            },
+            Node::Internal { keys, children } => {
+                let idx = child_index(keys, key);
+                let removed = Self::remove_rec(&mut children[idx], key)?;
+                if children[idx].len() < MIN_KEYS {
+                    Self::rebalance(keys, children, idx);
+                }
+                Some(removed)
+            }
+        }
+    }
+
+    /// Restores the invariant for `children[idx]` after an underflow by
+    /// borrowing from a sibling or merging with one.
+    fn rebalance(keys: &mut Vec<u64>, children: &mut Vec<Box<Node<V>>>, idx: usize) {
+        // Try borrowing from the left sibling.
+        if idx > 0 && children[idx - 1].len() > MIN_KEYS {
+            let (left_half, right_half) = children.split_at_mut(idx);
+            let left = &mut *left_half[idx - 1];
+            let cur = &mut *right_half[0];
+            match (left, cur) {
+                (
+                    Node::Leaf { keys: lk, vals: lv },
+                    Node::Leaf {
+                        keys: ck, vals: cv, ..
+                    },
+                ) => {
+                    let k = lk.pop().expect("left non-empty");
+                    let v = lv.pop().expect("left non-empty");
+                    ck.insert(0, k);
+                    cv.insert(0, v);
+                    keys[idx - 1] = ck[0];
+                }
+                (
+                    Node::Internal {
+                        keys: lk,
+                        children: lc,
+                    },
+                    Node::Internal {
+                        keys: ck,
+                        children: cc,
+                    },
+                ) => {
+                    let k = lk.pop().expect("left non-empty");
+                    let c = lc.pop().expect("left non-empty");
+                    ck.insert(0, keys[idx - 1]);
+                    cc.insert(0, c);
+                    keys[idx - 1] = k;
+                }
+                _ => unreachable!("siblings are at the same level"),
+            }
+            return;
+        }
+        // Try borrowing from the right sibling.
+        if idx + 1 < children.len() && children[idx + 1].len() > MIN_KEYS {
+            let (left_half, right_half) = children.split_at_mut(idx + 1);
+            let cur = &mut *left_half[idx];
+            let right = &mut *right_half[0];
+            match (cur, right) {
+                (
+                    Node::Leaf { keys: ck, vals: cv },
+                    Node::Leaf {
+                        keys: rk, vals: rv, ..
+                    },
+                ) => {
+                    let k = rk.remove(0);
+                    let v = rv.remove(0);
+                    ck.push(k);
+                    cv.push(v);
+                    keys[idx] = rk[0];
+                }
+                (
+                    Node::Internal {
+                        keys: ck,
+                        children: cc,
+                    },
+                    Node::Internal {
+                        keys: rk,
+                        children: rc,
+                    },
+                ) => {
+                    ck.push(keys[idx]);
+                    cc.push(rc.remove(0));
+                    keys[idx] = rk.remove(0);
+                }
+                _ => unreachable!("siblings are at the same level"),
+            }
+            return;
+        }
+        // Merge with a sibling. Merge `right_idx` into `left_idx`.
+        let (left_idx, sep_idx) = if idx > 0 { (idx - 1, idx - 1) } else { (idx, idx) };
+        let sep = keys.remove(sep_idx);
+        let right_node = children.remove(left_idx + 1);
+        let left_node = &mut *children[left_idx];
+        match (left_node, *right_node) {
+            (
+                Node::Leaf { keys: lk, vals: lv },
+                Node::Leaf {
+                    keys: mut rk,
+                    vals: mut rv,
+                },
+            ) => {
+                lk.append(&mut rk);
+                lv.append(&mut rv);
+            }
+            (
+                Node::Internal {
+                    keys: lk,
+                    children: lc,
+                },
+                Node::Internal {
+                    keys: mut rk,
+                    children: mut rc,
+                },
+            ) => {
+                lk.push(sep);
+                lk.append(&mut rk);
+                lc.append(&mut rc);
+            }
+            _ => unreachable!("siblings are at the same level"),
+        }
+    }
+
+    /// Validates structural invariants (key order, node occupancy, uniform
+    /// depth). Used by tests; O(n).
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        fn walk<V>(node: &Node<V>, lo: Option<u64>, hi: Option<u64>, is_root: bool) -> usize {
+            match node {
+                Node::Leaf { keys, vals } => {
+                    assert_eq!(keys.len(), vals.len());
+                    assert!(keys.windows(2).all(|w| w[0] < w[1]), "unsorted leaf");
+                    if !is_root {
+                        assert!(keys.len() >= MIN_KEYS, "leaf underflow: {}", keys.len());
+                    }
+                    assert!(keys.len() <= MAX_KEYS);
+                    for &k in keys {
+                        assert!(lo.is_none_or(|l| k >= l));
+                        assert!(hi.is_none_or(|h| k < h));
+                    }
+                    1
+                }
+                Node::Internal { keys, children } => {
+                    assert_eq!(children.len(), keys.len() + 1);
+                    assert!(keys.windows(2).all(|w| w[0] < w[1]), "unsorted internal");
+                    if !is_root {
+                        assert!(keys.len() >= MIN_KEYS, "internal underflow");
+                    }
+                    assert!(keys.len() <= MAX_KEYS);
+                    let mut depth = None;
+                    for (i, child) in children.iter().enumerate() {
+                        let child_lo = if i == 0 { lo } else { Some(keys[i - 1]) };
+                        let child_hi = if i == keys.len() { hi } else { Some(keys[i]) };
+                        let d = walk(child, child_lo, child_hi, false);
+                        if let Some(prev) = depth {
+                            assert_eq!(prev, d, "uneven depth");
+                        }
+                        depth = Some(d);
+                    }
+                    depth.expect("internal node has children") + 1
+                }
+            }
+        }
+        walk(&self.root, None, None, true);
+        assert_eq!(self.iter().count(), self.len, "len mismatch");
+    }
+}
+
+#[inline]
+fn child_index(keys: &[u64], key: u64) -> usize {
+    // First child whose separator is > key ⇒ keys < sep go left,
+    // keys ≥ sep go right (leaf split copies the separator right).
+    match keys.binary_search(&key) {
+        Ok(i) => i + 1,
+        Err(i) => i,
+    }
+}
+
+/// In-order iterator over a [`BPlusTree`].
+pub struct Iter<'a, V> {
+    /// Stack of (node, next child/entry index).
+    stack: Vec<(&'a Node<V>, usize)>,
+    primed: bool,
+}
+
+impl<'a, V> Iterator for Iter<'a, V> {
+    type Item = (u64, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if !self.primed {
+            self.primed = true;
+            // Descend to the leftmost leaf.
+            while let Some(&(node, _)) = self.stack.last() {
+                if node.is_leaf() {
+                    break;
+                }
+                if let Node::Internal { children, .. } = node {
+                    self.stack.push((&children[0], 0));
+                    let depth = self.stack.len();
+                    self.stack[depth - 2].1 = 1;
+                }
+            }
+        }
+        loop {
+            let (node, idx) = self.stack.last_mut()?;
+            match node {
+                Node::Leaf { keys, vals } => {
+                    if *idx < keys.len() {
+                        let out = (keys[*idx], &vals[*idx]);
+                        *idx += 1;
+                        return Some(out);
+                    }
+                    self.stack.pop();
+                }
+                Node::Internal { children, .. } => {
+                    if *idx < children.len() {
+                        let child = &children[*idx];
+                        *idx += 1;
+                        self.stack.push((child, 0));
+                        // Descend to leftmost leaf of this subtree.
+                        while let Some(&(n, _)) = self.stack.last() {
+                            if n.is_leaf() {
+                                break;
+                            }
+                            if let Node::Internal { children, .. } = n {
+                                self.stack.push((&children[0], 0));
+                                let depth = self.stack.len();
+                                self.stack[depth - 2].1 = 1;
+                            }
+                        }
+                    } else {
+                        self.stack.pop();
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree() {
+        let t: BPlusTree<i32> = BPlusTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.get(5), None);
+        assert_eq!(t.iter().count(), 0);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let mut t = BPlusTree::new();
+        assert_eq!(t.insert(3, "c"), None);
+        assert_eq!(t.insert(1, "a"), None);
+        assert_eq!(t.insert(2, "b"), None);
+        assert_eq!(t.insert(2, "B"), Some("b"));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(2), Some(&"B"));
+        assert_eq!(t.get(4), None);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn insert_many_sequential_and_iterate_sorted() {
+        let mut t = BPlusTree::new();
+        for i in 0..10_000u64 {
+            t.insert(i, i * 10);
+        }
+        assert_eq!(t.len(), 10_000);
+        t.check_invariants();
+        let collected: Vec<u64> = t.iter().map(|(k, _)| k).collect();
+        assert!(collected.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(collected.len(), 10_000);
+        assert_eq!(*t.get(9_999).unwrap(), 99_990);
+    }
+
+    #[test]
+    fn insert_many_reverse() {
+        let mut t = BPlusTree::new();
+        for i in (0..5_000u64).rev() {
+            t.insert(i, ());
+        }
+        t.check_invariants();
+        assert_eq!(t.iter().next().unwrap().0, 0);
+    }
+
+    #[test]
+    fn insert_pseudorandom_then_remove_all() {
+        let mut t = BPlusTree::new();
+        let mut keys: Vec<u64> = (0..4_000u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17))
+            .collect();
+        for &k in &keys {
+            t.insert(k, k as i64);
+        }
+        t.check_invariants();
+        keys.reverse();
+        for (n, &k) in keys.iter().enumerate() {
+            assert_eq!(t.remove(k), Some(k as i64), "at step {n}");
+            if n % 97 == 0 {
+                t.check_invariants();
+            }
+        }
+        assert!(t.is_empty());
+        t.check_invariants();
+    }
+
+    #[test]
+    fn remove_missing_returns_none() {
+        let mut t = BPlusTree::new();
+        t.insert(1, 1);
+        assert_eq!(t.remove(2), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut t = BPlusTree::new();
+        for i in 0..100 {
+            t.insert(i, vec![i]);
+        }
+        t.get_mut(50).unwrap().push(999);
+        assert_eq!(t.get(50).unwrap(), &vec![50, 999]);
+    }
+
+    #[test]
+    fn or_insert_with() {
+        let mut t: BPlusTree<Vec<u64>> = BPlusTree::new();
+        t.or_insert_with(7, Vec::new).push(1);
+        t.or_insert_with(7, Vec::new).push(2);
+        assert_eq!(t.get(7).unwrap(), &vec![1, 2]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn extreme_keys() {
+        let mut t = BPlusTree::new();
+        t.insert(u64::MAX, "max");
+        t.insert(0, "min");
+        t.insert(u64::MAX / 2, "mid");
+        let keys: Vec<u64> = t.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![0, u64::MAX / 2, u64::MAX]);
+    }
+}

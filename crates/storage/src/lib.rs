@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! Storage layer for DCDatalog (paper §3 "Storage Layer", §6.2).
+//!
+//! Provides the per-worker stores used during parallel semi-naive
+//! evaluation:
+//!
+//! * [`bptree::BPlusTree`] — the from-scratch B+-tree index on the
+//!   partition/join key of every recursive relation.
+//! * [`base::BaseRelation`] — immutable EDB partitions with hash indexes on
+//!   their join columns (Algorithm 1, line 3).
+//! * [`set::SetRelation`] — recursive relations without aggregates
+//!   (`tc`, `sg`, `attend`): exact-duplicate elimination plus an ordered
+//!   probe index.
+//! * [`aggregate`] — recursive relations with `min`/`max`/`sum`/`count`
+//!   heads, storing the aggregate state inside the index (§6.2.1) with the
+//!   per-contributor second index for `sum`/`count`.
+//! * [`cache`] — the constant-time existence-check cache consulted before
+//!   the B+-tree (§6.2.2).
+
+pub mod aggregate;
+pub mod base;
+pub mod bptree;
+pub mod cache;
+pub mod set;
+
+pub use aggregate::{AggFunc, AggRelation, AggState};
+pub use base::BaseRelation;
+pub use bptree::BPlusTree;
+pub use cache::{AggCache, TupleCache};
+pub use set::SetRelation;

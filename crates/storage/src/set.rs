@@ -1,0 +1,145 @@
+//! Recursive relations with set semantics (no aggregate in the head).
+//!
+//! `tc`, `sg` and `attend` from the paper's query suite are stored here.
+//! The store pairs an exact hash set (duplicate elimination — the set
+//! difference of semi-naive evaluation) with a B+-tree probe index on the
+//! relation's join column, used when the recursive table itself is probed
+//! (non-linear rules such as APSP's `path ⋈ path`).
+
+use crate::bptree::BPlusTree;
+use dcd_common::hash::FastSet;
+use dcd_common::Tuple;
+
+/// A deduplicated, indexed recursive relation.
+pub struct SetRelation {
+    /// Exact membership for semi-naive dedup.
+    members: FastSet<Tuple>,
+    /// Probe index: key bits of `key_col` → bucket of rows with that key.
+    index: BPlusTree<Vec<Tuple>>,
+    key_col: usize,
+}
+
+impl SetRelation {
+    /// Creates an empty relation indexed on `key_col`.
+    pub fn new(key_col: usize) -> Self {
+        SetRelation {
+            members: FastSet::default(),
+            index: BPlusTree::new(),
+            key_col,
+        }
+    }
+
+    /// Column the probe index is built on.
+    #[inline]
+    pub fn key_col(&self) -> usize {
+        self.key_col
+    }
+
+    /// Number of distinct tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the relation is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `t` is already present.
+    #[inline]
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.members.contains(t)
+    }
+
+    /// Inserts `t`; returns `true` iff it was new (and therefore belongs in
+    /// the next delta).
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        if !self.members.insert(t.clone()) {
+            return false;
+        }
+        self.index
+            .or_insert_with(t.key(self.key_col), Vec::new)
+            .push(t);
+        true
+    }
+
+    /// Probes the index for rows whose `key_col` equals `key`.
+    pub fn probe(&self, key: u64) -> &[Tuple] {
+        self.index.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Iterates all tuples (index order: ascending key, insertion order
+    /// within a key bucket).
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.index.iter().flat_map(|(_, bucket)| bucket.iter())
+    }
+
+    /// Drains the relation into a vector (used when collecting final
+    /// results from workers).
+    pub fn into_rows(self) -> Vec<Tuple> {
+        let mut out = Vec::with_capacity(self.members.len());
+        for (_, bucket) in self.index.iter() {
+            out.extend(bucket.iter().cloned());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_dedups() {
+        let mut r = SetRelation::new(0);
+        assert!(r.insert(Tuple::from_ints(&[1, 2])));
+        assert!(!r.insert(Tuple::from_ints(&[1, 2])));
+        assert!(r.insert(Tuple::from_ints(&[1, 3])));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn probe_by_key_column() {
+        let mut r = SetRelation::new(1);
+        r.insert(Tuple::from_ints(&[1, 5]));
+        r.insert(Tuple::from_ints(&[2, 5]));
+        r.insert(Tuple::from_ints(&[3, 6]));
+        let key5 = Tuple::from_ints(&[0, 5]).key(1);
+        assert_eq!(r.probe(key5).len(), 2);
+        assert_eq!(r.probe(Tuple::from_ints(&[0, 7]).key(1)).len(), 0);
+    }
+
+    #[test]
+    fn iter_covers_everything() {
+        let mut r = SetRelation::new(0);
+        for i in 0..500 {
+            r.insert(Tuple::from_ints(&[i % 50, i]));
+        }
+        assert_eq!(r.iter().count(), 500);
+        assert_eq!(r.len(), 500);
+    }
+
+    #[test]
+    fn contains_matches_insert_result() {
+        let mut r = SetRelation::new(0);
+        let t = Tuple::from_ints(&[9, 9]);
+        assert!(!r.contains(&t));
+        r.insert(t.clone());
+        assert!(r.contains(&t));
+    }
+
+    #[test]
+    fn into_rows_returns_all() {
+        let mut r = SetRelation::new(0);
+        r.insert(Tuple::from_ints(&[1, 2]));
+        r.insert(Tuple::from_ints(&[3, 4]));
+        let mut rows = r.into_rows();
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![Tuple::from_ints(&[1, 2]), Tuple::from_ints(&[3, 4])]
+        );
+    }
+}

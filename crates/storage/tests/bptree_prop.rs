@@ -1,0 +1,84 @@
+//! Property tests: the from-scratch B+-tree must behave exactly like
+//! `std::collections::BTreeMap` under arbitrary operation sequences, and
+//! keep its structural invariants at every step.
+
+use dcd_storage::BPlusTree;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u64, i64),
+    Remove(u64),
+    Get(u64),
+}
+
+fn op_strategy(key_space: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0..key_space, any::<i64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        1 => (0..key_space).prop_map(Op::Remove),
+        1 => (0..key_space).prop_map(Op::Get),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matches_btreemap(ops in proptest::collection::vec(op_strategy(200), 1..400)) {
+        let mut tree = BPlusTree::new();
+        let mut model = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(tree.insert(k, v), model.insert(k, v));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(tree.remove(k), model.remove(&k));
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(tree.get(k), model.get(&k));
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len());
+        }
+        tree.check_invariants();
+        // Full in-order agreement.
+        let got: Vec<(u64, i64)> = tree.iter().map(|(k, v)| (k, *v)).collect();
+        let want: Vec<(u64, i64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn dense_then_sparse_keys(mut keys in proptest::collection::vec(any::<u64>(), 1..300)) {
+        let mut tree = BPlusTree::new();
+        for (i, &k) in keys.iter().enumerate() {
+            tree.insert(k, i);
+        }
+        tree.check_invariants();
+        keys.sort_unstable();
+        keys.dedup();
+        prop_assert_eq!(tree.len(), keys.len());
+        let iterated: Vec<u64> = tree.iter().map(|(k, _)| k).collect();
+        prop_assert_eq!(iterated, keys);
+    }
+
+    #[test]
+    fn remove_everything_in_random_order(
+        keys in proptest::collection::btree_set(0u64..500, 1..200),
+        seed in any::<u64>(),
+    ) {
+        let mut tree = BPlusTree::new();
+        for &k in &keys {
+            tree.insert(k, ());
+        }
+        // Deterministic shuffle via multiplicative hashing.
+        let mut order: Vec<u64> = keys.iter().copied().collect();
+        order.sort_by_key(|&k| k.wrapping_mul(seed | 1).rotate_left(13));
+        for &k in &order {
+            prop_assert_eq!(tree.remove(k), Some(()));
+        }
+        prop_assert!(tree.is_empty());
+        tree.check_invariants();
+    }
+}

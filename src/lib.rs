@@ -1,0 +1,13 @@
+//! Umbrella crate for the DCDatalog reproduction workspace.
+//!
+//! Re-exports the public crates so examples and integration tests can use a
+//! single dependency. Library consumers should depend on [`dcdatalog`]
+//! directly.
+
+pub use dcd_baselines as baselines;
+pub use dcd_common as common;
+pub use dcd_datagen as datagen;
+pub use dcd_frontend as frontend;
+pub use dcd_runtime as runtime;
+pub use dcd_storage as storage;
+pub use dcdatalog as engine;
