@@ -61,7 +61,10 @@ impl Reference {
     pub fn load_edges(&mut self, name: &str, edges: &[(i64, i64)]) {
         self.load(
             name,
-            edges.iter().map(|&(a, b)| Tuple::from_ints(&[a, b])).collect(),
+            edges
+                .iter()
+                .map(|&(a, b)| Tuple::from_ints(&[a, b]))
+                .collect(),
         );
     }
 
@@ -83,11 +86,7 @@ impl Reference {
         for (id, info) in self.prog.catalog.iter() {
             let _ = id;
             if info.is_edb {
-                let rows = self
-                    .edb
-                    .get(&info.name)
-                    .cloned()
-                    .unwrap_or_default();
+                let rows = self.edb.get(&info.name).cloned().unwrap_or_default();
                 let mut r = RefRelation::default();
                 r.rows.extend(rows);
                 rels.insert(info.name.clone(), r);
@@ -192,7 +191,11 @@ impl Reference {
                         true
                     }
                     Some(AggState::Extremum(cur)) => {
-                        let better = if func == AggFunc::Min { v < *cur } else { v > *cur };
+                        let better = if func == AggFunc::Min {
+                            v < *cur
+                        } else {
+                            v > *cur
+                        };
                         if better {
                             *cur = v;
                         }
@@ -254,8 +257,7 @@ impl Reference {
                     let mut vs = Vec::new();
                     lhs.vars(&mut vs);
                     rhs.vars(&mut vs);
-                    let unbound: Vec<_> =
-                        vs.iter().filter(|v| !env.contains_key(**v)).collect();
+                    let unbound: Vec<_> = vs.iter().filter(|v| !env.contains_key(**v)).collect();
                     unbound.is_empty()
                         || (*op == CmpOp::Eq
                             && unbound.len() == 1
@@ -273,10 +275,8 @@ impl Reference {
         let lit = remaining.remove(pick);
         match lit {
             BodyLit::Compare { op, lhs, rhs } => {
-                let l_unbound =
-                    matches!(lhs, Expr::Term(Term::Var(x)) if !env.contains_key(x));
-                let r_unbound =
-                    matches!(rhs, Expr::Term(Term::Var(x)) if !env.contains_key(x));
+                let l_unbound = matches!(lhs, Expr::Term(Term::Var(x)) if !env.contains_key(x));
+                let r_unbound = matches!(rhs, Expr::Term(Term::Var(x)) if !env.contains_key(x));
                 if *op == CmpOp::Eq && (l_unbound || r_unbound) {
                     let (var, expr) = if l_unbound { (lhs, rhs) } else { (rhs, lhs) };
                     let Expr::Term(Term::Var(name)) = var else {
@@ -319,12 +319,10 @@ impl Reference {
                         .map(|(g, s)| {
                             let v = match s {
                                 AggState::Extremum(v) => *v,
-                                AggState::Contribs(m) => {
-                                    match info_agg.as_ref().map(|s| s.func) {
-                                        Some(AggFunc::Count) => Value::Int(m.len() as i64),
-                                        _ => Value::Float(m.values().sum()),
-                                    }
-                                }
+                                AggState::Contribs(m) => match info_agg.as_ref().map(|s| s.func) {
+                                    Some(AggFunc::Count) => Value::Int(m.len() as i64),
+                                    _ => Value::Float(m.values().sum()),
+                                },
                             };
                             let mut vals = g.clone();
                             vals.push(v);
@@ -419,9 +417,7 @@ impl Reference {
                     .ok_or_else(|| DcdError::Execution(format!("unbound head var '{v}'")))?,
                 Term::Const(c) => *c,
                 Term::Param(p) => self.param(p)?,
-                Term::Wildcard => {
-                    return Err(DcdError::Execution("wildcard in head".into()))
-                }
+                Term::Wildcard => return Err(DcdError::Execution("wildcard in head".into())),
             })
         };
         let mut vals = Vec::with_capacity(rule.head.terms.len() + 1);
@@ -449,10 +445,8 @@ mod tests {
 
     #[test]
     fn tc_chain() {
-        let mut r = Reference::new(
-            "tc(X, Y) <- arc(X, Y). tc(X, Y) <- tc(X, Z), arc(Z, Y).",
-        )
-        .unwrap();
+        let mut r =
+            Reference::new("tc(X, Y) <- arc(X, Y). tc(X, Y) <- tc(X, Z), arc(Z, Y).").unwrap();
         r.load_edges("arc", &[(1, 2), (2, 3)]);
         let out = r.run().unwrap();
         assert_eq!(
@@ -493,7 +487,10 @@ mod tests {
              attend(X) <- cnt(X, N), N >= 2.",
         )
         .unwrap();
-        r.load("organizer", vec![Tuple::from_ints(&[1]), Tuple::from_ints(&[2])]);
+        r.load(
+            "organizer",
+            vec![Tuple::from_ints(&[1]), Tuple::from_ints(&[2])],
+        );
         r.load_edges("friend", &[(9, 1), (9, 2), (8, 9), (8, 1)]);
         let out = r.run().unwrap();
         assert_eq!(

@@ -6,10 +6,14 @@
 //! strongest correctness evidence in this repository.
 
 use dcd_baselines::Reference;
+use dcd_common::proptest;
+use dcd_common::proptest::prelude::*;
 use dcdatalog::{queries, Engine, EngineConfig, Strategy, Tuple};
-use proptest::prelude::*;
 
-fn edges_strategy(max_v: i64, max_e: usize) -> impl proptest::strategy::Strategy<Value = Vec<(i64, i64)>> {
+fn edges_strategy(
+    max_v: i64,
+    max_e: usize,
+) -> impl proptest::strategy::Strategy<Value = Vec<(i64, i64)>> {
     proptest::collection::vec((0..max_v, 0..max_v), 0..max_e)
 }
 
@@ -32,7 +36,10 @@ fn run_engine(
 }
 
 fn to_tuples(edges: &[(i64, i64)]) -> Vec<Tuple> {
-    edges.iter().map(|&(a, b)| Tuple::from_ints(&[a, b])).collect()
+    edges
+        .iter()
+        .map(|&(a, b)| Tuple::from_ints(&[a, b]))
+        .collect()
 }
 
 proptest! {

@@ -1,19 +1,19 @@
-//! Criterion benchmarks: one group per table/figure of the paper's §7.
+//! Micro-benchmarks: one group per table/figure of the paper's §7, run
+//! on the first-party [`dcd_bench::microbench`] harness (`harness =
+//! false`; no criterion — see the hermetic-build policy in DESIGN.md).
 //!
 //! These are micro-scale versions of the `repro` binary's experiments —
-//! small enough for Criterion's statistical repetition, sharing the same
-//! datasets and engine configurations. `cargo bench -p dcd-bench` runs
-//! them all; `cargo bench -p dcd-bench -- tab2` runs one group.
+//! small enough for statistical repetition, sharing the same datasets
+//! and engine configurations. `cargo bench -p dcd-bench` runs them all;
+//! `cargo bench -p dcd-bench -- tab2` runs one group; `--json PATH`
+//! writes machine-readable results.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dcd_bench::datasets;
-use dcd_runtime::simulator::{
-    figure3_workload, simulate, SimConfig, SimStrategy, SimWorkload,
-};
+use dcd_bench::microbench::Harness;
+use dcd_runtime::simulator::{figure3_workload, simulate, SimConfig, SimStrategy, SimWorkload};
 use dcdatalog::{queries, Engine, EngineConfig, Program, Strategy, Tuple};
-use std::time::Duration;
 
-/// Scale divisor for bench datasets (heavily scaled: Criterion repeats).
+/// Scale divisor for bench datasets (heavily scaled: the harness repeats).
 const SCALE: usize = 100_000;
 
 fn engine_for(program: &Program, loads: &[(String, Vec<Tuple>)], cfg: EngineConfig) -> Engine {
@@ -24,22 +24,20 @@ fn engine_for(program: &Program, loads: &[(String, Vec<Tuple>)], cfg: EngineConf
     e
 }
 
-fn small_criterion() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(3))
-        .warm_up_time(Duration::from_millis(500))
-}
-
 /// Figure 1: SSSP on the LiveJournal stand-in across systems.
-fn bench_fig1_sssp(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig1_sssp_livejournal");
+fn bench_fig1_sssp(h: &mut Harness) {
     let ds = &datasets::sssp_datasets(SCALE)[0];
     let program = queries::sssp(0).unwrap();
     let systems: Vec<(&str, EngineConfig)> = vec![
         ("dws", EngineConfig::with_workers(2)),
-        ("global", EngineConfig::with_workers(2).strategy(Strategy::Global)),
-        ("ssp5", EngineConfig::with_workers(2).strategy(Strategy::Ssp { s: 5 })),
+        (
+            "global",
+            EngineConfig::with_workers(2).strategy(Strategy::Global),
+        ),
+        (
+            "ssp5",
+            EngineConfig::with_workers(2).strategy(Strategy::Ssp { s: 5 }),
+        ),
         ("broadcast", {
             let mut c = EngineConfig::with_workers(2);
             c.broadcast_routing = true;
@@ -48,35 +46,31 @@ fn bench_fig1_sssp(c: &mut Criterion) {
         ("single_thread", EngineConfig::with_workers(1)),
     ];
     for (name, cfg) in systems {
-        g.bench_function(name, |b| {
-            let e = engine_for(&program, &ds.loads, cfg.clone());
-            b.iter(|| e.run().unwrap());
+        let e = engine_for(&program, &ds.loads, cfg);
+        h.bench("fig1_sssp_livejournal", name, || {
+            e.run().unwrap();
         });
     }
-    g.finish();
 }
 
 /// Figure 3: the simulated schedule replay itself.
-fn bench_fig3_simulator(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig3_simulator");
+fn bench_fig3_simulator(h: &mut Harness) {
     for strat in [
         SimStrategy::Global,
         SimStrategy::Ssp(1),
         SimStrategy::Dws { omega: 4, tau: 3 },
     ] {
-        g.bench_function(strat.name(), |b| {
-            let w = figure3_workload();
-            b.iter(|| simulate(&w, &SimConfig::default(), strat));
+        let w = figure3_workload();
+        h.bench("fig3_simulator", strat.name(), || {
+            simulate(&w, &SimConfig::default(), strat);
         });
     }
-    g.finish();
 }
 
 /// Table 2: one bench per query on its first dataset.
 type NamedCase = (&'static str, Program, Vec<(String, Vec<Tuple>)>);
 
-fn bench_tab2_queries(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tab2_queries");
+fn bench_tab2_queries(h: &mut Harness) {
     let cases: Vec<NamedCase> = vec![
         (
             "sg_tree",
@@ -100,78 +94,82 @@ fn bench_tab2_queries(c: &mut Criterion) {
         ),
         {
             let (ds, n) = datasets::pagerank_datasets(SCALE).remove(0);
-            ("pagerank_livejournal", queries::pagerank(0.85, n).unwrap(), ds.loads)
+            (
+                "pagerank_livejournal",
+                queries::pagerank(0.85, n).unwrap(),
+                ds.loads,
+            )
         },
     ];
     for (name, program, loads) in cases {
-        g.bench_function(name, |b| {
-            let mut cfg = EngineConfig::with_workers(2);
-            cfg.sum_epsilon = 1e-7;
-            let e = engine_for(&program, &loads, cfg);
-            b.iter(|| e.run().unwrap());
+        let mut cfg = EngineConfig::with_workers(2);
+        cfg.sum_epsilon = 1e-7;
+        let e = engine_for(&program, &loads, cfg);
+        h.bench("tab2_queries", name, || {
+            e.run().unwrap();
         });
     }
-    g.finish();
 }
 
 /// Table 3: APSP two-partition routing vs broadcast.
-fn bench_tab3_apsp(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tab3_apsp");
-    // Criterion repeats each run; use a small bespoke RMAT so a sample
+fn bench_tab3_apsp(h: &mut Harness) {
+    // The harness repeats each run; use a small bespoke RMAT so a sample
     // finishes in milliseconds (the repro binary covers paper sizes).
-    let warc: Vec<Tuple> = dcd_datagen::weighted(&dcd_datagen::rmat(64, datasets::SEED), 100, datasets::SEED)
-        .iter()
-        .map(|&(a, b, w)| Tuple::from_ints(&[a, b, w]))
-        .collect();
+    let warc: Vec<Tuple> =
+        dcd_datagen::weighted(&dcd_datagen::rmat(64, datasets::SEED), 100, datasets::SEED)
+            .iter()
+            .map(|&(a, b, w)| Tuple::from_ints(&[a, b, w]))
+            .collect();
     let ds = dcd_bench::datasets::Dataset {
         name: "RMAT-64",
         loads: vec![("warc".to_string(), warc)],
     };
     let program = queries::apsp().unwrap();
     for (name, broadcast) in [("routed", false), ("broadcast", true)] {
-        g.bench_function(name, |b| {
-            let mut cfg = EngineConfig::with_workers(2);
-            cfg.broadcast_routing = broadcast;
-            let e = engine_for(&program, &ds.loads, cfg);
-            b.iter(|| e.run().unwrap());
+        let mut cfg = EngineConfig::with_workers(2);
+        cfg.broadcast_routing = broadcast;
+        let e = engine_for(&program, &ds.loads, cfg);
+        h.bench("tab3_apsp", name, || {
+            e.run().unwrap();
         });
     }
-    g.finish();
 }
 
 /// Table 4: the §6.2 optimizations on and off.
-fn bench_tab4_optimizations(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tab4_optimizations");
+fn bench_tab4_optimizations(h: &mut Harness) {
     let ds = &datasets::cc_datasets(SCALE)[0];
     let program = queries::cc().unwrap();
-    for (name, optimized) in [("with_opts", true), ("without_opts", false)] {
-        g.bench_function(BenchmarkId::new("cc", name), |b| {
-            let cfg = EngineConfig::with_workers(2).optimizations(optimized);
-            let e = engine_for(&program, &ds.loads, cfg);
-            b.iter(|| e.run().unwrap());
+    for (name, optimized) in [("cc/with_opts", true), ("cc/without_opts", false)] {
+        let cfg = EngineConfig::with_workers(2).optimizations(optimized);
+        let e = engine_for(&program, &ds.loads, cfg);
+        h.bench("tab4_optimizations", name, || {
+            e.run().unwrap();
         });
     }
     let ds = &datasets::sssp_datasets(SCALE)[0];
     let program = queries::sssp(0).unwrap();
-    for (name, optimized) in [("with_opts", true), ("without_opts", false)] {
-        g.bench_function(BenchmarkId::new("sssp", name), |b| {
-            let cfg = EngineConfig::with_workers(2).optimizations(optimized);
-            let e = engine_for(&program, &ds.loads, cfg);
-            b.iter(|| e.run().unwrap());
+    for (name, optimized) in [("sssp/with_opts", true), ("sssp/without_opts", false)] {
+        let cfg = EngineConfig::with_workers(2).optimizations(optimized);
+        let e = engine_for(&program, &ds.loads, cfg);
+        h.bench("tab4_optimizations", name, || {
+            e.run().unwrap();
         });
     }
-    g.finish();
 }
 
 /// Figure 8: coordination strategies (engine wall time + simulator).
-fn bench_fig8_coordination(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8_coordination");
+fn bench_fig8_coordination(h: &mut Harness) {
     let ds = &datasets::cc_datasets(SCALE)[0];
     let program = queries::cc().unwrap();
     for strat in [Strategy::Global, Strategy::Ssp { s: 5 }, Strategy::Dws] {
-        g.bench_function(BenchmarkId::new("cc_engine", strat.name()), |b| {
-            let e = engine_for(&program, &ds.loads, EngineConfig::with_workers(2).strategy(strat.clone()));
-            b.iter(|| e.run().unwrap());
+        let name = format!("cc_engine/{}", strat.name());
+        let e = engine_for(
+            &program,
+            &ds.loads,
+            EngineConfig::with_workers(2).strategy(strat.clone()),
+        );
+        h.bench("fig8_coordination", &name, || {
+            e.run().unwrap();
         });
     }
     // Simulated counterpart at 32 workers.
@@ -179,71 +177,77 @@ fn bench_fig8_coordination(c: &mut Criterion) {
         .iter()
         .map(|&(a, b)| (a as u64, b as u64))
         .collect();
-    for strat in [SimStrategy::Global, SimStrategy::Ssp(5), SimStrategy::DwsAuto] {
-        g.bench_function(BenchmarkId::new("cc_sim32", strat.name()), |b| {
-            let w = SimWorkload::cc_partitioned(&edges, 32);
-            b.iter(|| simulate(&w, &SimConfig::realistic(), strat));
+    for strat in [
+        SimStrategy::Global,
+        SimStrategy::Ssp(5),
+        SimStrategy::DwsAuto,
+    ] {
+        let name = format!("cc_sim32/{}", strat.name());
+        let w = SimWorkload::cc_partitioned(&edges, 32);
+        h.bench("fig8_coordination", &name, || {
+            simulate(&w, &SimConfig::realistic(), strat);
         });
     }
-    g.finish();
 }
 
 /// Figure 9(a): worker scaling (engine threads + simulated workers).
-fn bench_fig9a_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig9a_thread_scaling");
+fn bench_fig9a_scaling(h: &mut Harness) {
     let ds = &datasets::cc_datasets(SCALE)[0];
     let program = queries::cc().unwrap();
     for t in [1usize, 2, 4] {
-        g.bench_with_input(BenchmarkId::new("cc_engine_threads", t), &t, |b, &t| {
-            let e = engine_for(&program, &ds.loads, EngineConfig::with_workers(t));
-            b.iter(|| e.run().unwrap());
-        });
+        let e = engine_for(&program, &ds.loads, EngineConfig::with_workers(t));
+        h.bench(
+            "fig9a_thread_scaling",
+            &format!("cc_engine_threads/{t}"),
+            || {
+                e.run().unwrap();
+            },
+        );
     }
     let edges: Vec<(u64, u64)> = dcd_datagen::livejournal_like(SCALE, datasets::SEED)
         .iter()
         .map(|&(a, b)| (a as u64, b as u64))
         .collect();
     for t in [1usize, 8, 32] {
-        g.bench_with_input(BenchmarkId::new("cc_sim_workers", t), &t, |b, &t| {
-            let w = SimWorkload::cc_partitioned(&edges, t);
-            b.iter(|| simulate(&w, &SimConfig::default(), SimStrategy::DwsAuto));
-        });
+        let w = SimWorkload::cc_partitioned(&edges, t);
+        h.bench(
+            "fig9a_thread_scaling",
+            &format!("cc_sim_workers/{t}"),
+            || {
+                simulate(&w, &SimConfig::default(), SimStrategy::DwsAuto);
+            },
+        );
     }
-    g.finish();
 }
 
 /// Figure 9(b): data scaling.
-fn bench_fig9b_data_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig9b_data_scaling");
+fn bench_fig9b_data_scaling(h: &mut Harness) {
     let program = queries::cc().unwrap();
     for (name, edges) in datasets::scaling_datasets(10_000) {
         let rows: Vec<Tuple> = dcd_datagen::symmetrize(&edges)
             .iter()
             .map(|&(a, b)| Tuple::from_ints(&[a, b]))
             .collect();
-        g.bench_with_input(BenchmarkId::new("cc", &name), &rows, |b, rows| {
-            let e = engine_for(
-                &program,
-                &[("arc".to_string(), rows.clone())],
-                EngineConfig::with_workers(2),
-            );
-            b.iter(|| e.run().unwrap());
+        let e = engine_for(
+            &program,
+            &[("arc".to_string(), rows)],
+            EngineConfig::with_workers(2),
+        );
+        h.bench("fig9b_data_scaling", &format!("cc/{name}"), || {
+            e.run().unwrap();
         });
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = small_criterion();
-    targets =
-        bench_fig1_sssp,
-        bench_fig3_simulator,
-        bench_tab2_queries,
-        bench_tab3_apsp,
-        bench_tab4_optimizations,
-        bench_fig8_coordination,
-        bench_fig9a_scaling,
-        bench_fig9b_data_scaling
+fn main() {
+    let mut h = Harness::from_args();
+    bench_fig1_sssp(&mut h);
+    bench_fig3_simulator(&mut h);
+    bench_tab2_queries(&mut h);
+    bench_tab3_apsp(&mut h);
+    bench_tab4_optimizations(&mut h);
+    bench_fig8_coordination(&mut h);
+    bench_fig9a_scaling(&mut h);
+    bench_fig9b_data_scaling(&mut h);
+    h.finish();
 }
-criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Produces `BENCH_baseline.json`: the committed perf anchor.
+//!
+//! Runs small, fast TC and SG workloads (seconds total) through the
+//! first-party [`dcd_bench::microbench`] harness and writes their
+//! median timings as JSON. The file is committed at the repo root so
+//! successive PRs can diff perf trajectories; regenerate with
+//!
+//! ```text
+//! cargo run --release -p dcd-bench --bin baseline -- BENCH_baseline.json
+//! ```
+//!
+//! The output path defaults to `BENCH_baseline.json` in the current
+//! directory; pass a path argument to override. Result cardinalities
+//! are asserted before timing so a baseline can never be recorded for
+//! a wrong answer.
+
+use dcd_bench::datasets::SEED;
+use dcd_bench::microbench::Harness;
+use dcdatalog::{queries, Engine, EngineConfig, Program, Tuple};
+
+fn engine_for(program: &Program, loads: &[(String, Vec<Tuple>)], cfg: EngineConfig) -> Engine {
+    let mut e = Engine::new(program.clone(), cfg).expect("plans");
+    for (name, rows) in loads {
+        e.load_edb(name, rows.clone()).expect("loads");
+    }
+    e
+}
+
+fn edge_tuples(edges: &[(i64, i64)]) -> Vec<Tuple> {
+    edges
+        .iter()
+        .map(|&(a, b)| Tuple::from_ints(&[a, b]))
+        .collect()
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .filter(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    let mut h = Harness::new().with_plan(10, 3).with_json_path(Some(path));
+
+    // TC on a small RMAT graph, single- and two-worker.
+    let tc = queries::tc().expect("tc program");
+    let arcs = vec![(
+        "arc".to_string(),
+        edge_tuples(&dcd_datagen::rmat(256, SEED)),
+    )];
+    for workers in [1usize, 2] {
+        let e = engine_for(&tc, &arcs, EngineConfig::with_workers(workers));
+        let rows = e.run().expect("tc runs").relation("tc").len();
+        assert!(rows > 0, "TC produced an empty closure");
+        h.bench("baseline_tc", &format!("rmat256_workers{workers}"), || {
+            e.run().unwrap();
+        });
+    }
+
+    // SG on a small random tree, single- and two-worker. Height 4 keeps
+    // the same-generation pair count (quadratic in the widest level) in
+    // the tens of thousands, so a sample stays in milliseconds.
+    let sg = queries::sg().expect("sg program");
+    let tree = vec![("arc".to_string(), edge_tuples(&dcd_datagen::tree(4, SEED)))];
+    for workers in [1usize, 2] {
+        let e = engine_for(&sg, &tree, EngineConfig::with_workers(workers));
+        let rows = e.run().expect("sg runs").relation("sg").len();
+        assert!(rows > 0, "SG produced an empty result");
+        h.bench("baseline_sg", &format!("tree4_workers{workers}"), || {
+            e.run().unwrap();
+        });
+    }
+
+    h.finish();
+}

@@ -39,10 +39,12 @@ fn main() {
         }
     }
     if which.is_empty() || which.iter().any(|w| w == "all") {
-        which = ["fig1", "fig3", "tab2", "tab3", "tab4", "fig8", "fig9a", "fig9b"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        which = [
+            "fig1", "fig3", "tab2", "tab3", "tab4", "fig8", "fig9a", "fig9b",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
     println!(
         "DCDatalog reproduction harness — scale 1/{}, {} workers, timeout {:?}",

@@ -17,7 +17,10 @@ pub struct Dataset {
 }
 
 fn edge_tuples(edges: &[(i64, i64)]) -> Vec<Tuple> {
-    edges.iter().map(|&(a, b)| Tuple::from_ints(&[a, b])).collect()
+    edges
+        .iter()
+        .map(|&(a, b)| Tuple::from_ints(&[a, b]))
+        .collect()
 }
 
 fn wedge_tuples(edges: &[(i64, i64, i64)]) -> Vec<Tuple> {
@@ -86,7 +89,9 @@ pub fn pagerank_datasets(scale: usize) -> Vec<(Dataset, usize)> {
 /// paper's Tree-11 / G-10K / RMAT-10K..40K proportionally (scale 8 ⇒
 /// Tree-8, G-1250 with matched density, RMAT-1.25K..5K).
 pub fn sg_datasets(scale: usize) -> Vec<Dataset> {
-    let tree_h = 11usize.saturating_sub((scale as f64).log2().round() as usize).max(4);
+    let tree_h = 11usize
+        .saturating_sub((scale as f64).log2().round() as usize)
+        .max(4);
     let gn = (10_000 / scale).max(64);
     // G-10K uses p = 0.001 (avg degree 10); keep the density.
     let p = (10.0 / gn as f64).min(0.5);

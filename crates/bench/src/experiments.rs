@@ -89,7 +89,13 @@ fn cfg(opts: &Opts, strategy: Strategy) -> EngineConfig {
     c
 }
 
-fn run_cell(program: &Program, ds: &Dataset, probe: &str, config: EngineConfig, reps: usize) -> Outcome {
+fn run_cell(
+    program: &Program,
+    ds: &Dataset,
+    probe: &str,
+    config: EngineConfig,
+    reps: usize,
+) -> Outcome {
     Run {
         program: program.clone(),
         loads: ds.loads.clone(),
@@ -149,8 +155,14 @@ pub fn fig3(_opts: &Opts) -> Report {
         title: "Figure 3: CC schedule lengths (abstract time units)".into(),
         columns: vec!["Global".into(), "SSP(1)".into(), "DWS".into()],
         rows: vec![
-            ("simulated".into(), vec![g.to_string(), s.to_string(), d.to_string()]),
-            ("paper".into(), vec![pg.to_string(), ps.to_string(), pd.to_string()]),
+            (
+                "simulated".into(),
+                vec![g.to_string(), s.to_string(), d.to_string()],
+            ),
+            (
+                "paper".into(),
+                vec![pg.to_string(), ps.to_string(), pd.to_string()],
+            ),
         ],
         note: format!(
             "shape check: DWS/Global simulated {:.2} vs paper {:.2}",
@@ -183,14 +195,24 @@ pub fn tab2(opts: &Opts) -> Report {
         }
     };
 
-    push_rows("SG", &queries::sg().unwrap(), "sg", datasets::sg_datasets(opts.scale));
+    push_rows(
+        "SG",
+        &queries::sg().unwrap(),
+        "sg",
+        datasets::sg_datasets(opts.scale),
+    );
     push_rows(
         "Delivery",
         &queries::delivery().unwrap(),
         "results",
         datasets::delivery_datasets(opts.scale),
     );
-    push_rows("CC", &queries::cc().unwrap(), "cc", datasets::cc_datasets(opts.scale));
+    push_rows(
+        "CC",
+        &queries::cc().unwrap(),
+        "cc",
+        datasets::cc_datasets(opts.scale),
+    );
     push_rows(
         "SSSP",
         &queries::sssp(0).unwrap(),
@@ -237,7 +259,9 @@ pub fn tab3(opts: &Opts) -> Report {
         let dcd = run_cell(&program, &ds, "apsp", cfg(opts, Strategy::Dws), opts.reps);
         let bc = run_cell(&program, &ds, "apsp", broadcast.clone(), opts.reps);
         let paper_row = paper::TABLE3.iter().find(|(n, ..)| *n == ds.name);
-        let paper_dcd = paper_row.map(|(_, d, ..)| format!("{d:.2}")).unwrap_or("-".into());
+        let paper_dcd = paper_row
+            .map(|(_, d, ..)| format!("{d:.2}"))
+            .unwrap_or("-".into());
         let paper_other = paper_row
             .and_then(|(_, _, s, d)| s.or(*d))
             .map(|v| format!("{v:.2}"))
@@ -264,7 +288,12 @@ pub fn tab3(opts: &Opts) -> Report {
 pub fn tab4(opts: &Opts) -> Report {
     let mut rows = Vec::new();
     let cases: Vec<(&str, Program, &str, Vec<Dataset>)> = vec![
-        ("CC", queries::cc().unwrap(), "cc", datasets::cc_datasets(opts.scale)),
+        (
+            "CC",
+            queries::cc().unwrap(),
+            "cc",
+            datasets::cc_datasets(opts.scale),
+        ),
         (
             "SSSP",
             queries::sssp(0).unwrap(),
@@ -300,7 +329,12 @@ pub fn tab4(opts: &Opts) -> Report {
     }
     Report {
         title: "Table 4: effect of §6.2 optimizations (seconds)".into(),
-        columns: vec!["w/o".into(), "w/".into(), "speedup".into(), "paper-speedup".into()],
+        columns: vec![
+            "w/o".into(),
+            "w/".into(),
+            "speedup".into(),
+            "paper-speedup".into(),
+        ],
         rows,
         note: "paper reports 1.86x–2.91x gains".into(),
     }
@@ -346,8 +380,14 @@ pub fn fig8(opts: &Opts) -> Report {
             )],
         };
         cells.push(
-            run_cell(&queries::cc().unwrap(), &ds, "cc", cfg(opts, Strategy::Dws), opts.reps)
-                .to_string(),
+            run_cell(
+                &queries::cc().unwrap(),
+                &ds,
+                "cc",
+                cfg(opts, Strategy::Dws),
+                opts.reps,
+            )
+            .to_string(),
         );
         rows.push((format!("CC/{name}"), cells));
     }
@@ -479,7 +519,9 @@ pub fn fig9a(opts: &Opts) -> Report {
         rows,
         note: format!(
             "host has {} core(s): real rows stay flat, simulated rows carry the scaling shape",
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         ),
     }
 }

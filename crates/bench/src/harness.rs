@@ -159,10 +159,7 @@ mod tests {
             probe: "tc".into(),
         };
         let o = run.execute();
-        assert!(
-            matches!(o, Outcome::Timeout),
-            "expected TO, got {o:?}"
-        );
+        assert!(matches!(o, Outcome::Timeout), "expected TO, got {o:?}");
     }
 
     #[test]

@@ -1,12 +1,15 @@
 //! Benchmark harness for the DCDatalog reproduction.
 //!
 //! [`harness`] times engine/baseline runs with timeout handling (the
-//! paper's `TO` entries); [`datasets`] builds the workload for every
-//! experiment; [`paper`] records the paper-reported numbers so the
-//! `repro` binary can print measured-vs-paper tables; [`experiments`]
-//! implements one function per table/figure of §7.
+//! paper's `TO` entries); [`microbench`] is the first-party statistical
+//! micro-benchmark runner (warmup + median-of-N + JSON) that replaced
+//! criterion under the hermetic-build policy; [`datasets`] builds the
+//! workload for every experiment; [`paper`] records the paper-reported
+//! numbers so the `repro` binary can print measured-vs-paper tables;
+//! [`experiments`] implements one function per table/figure of §7.
 
 pub mod datasets;
 pub mod experiments;
 pub mod harness;
+pub mod microbench;
 pub mod paper;

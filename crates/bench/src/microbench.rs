@@ -1,0 +1,328 @@
+//! First-party micro-benchmark harness (criterion replacement).
+//!
+//! The workspace builds with zero external crates, so the statistical
+//! bench runner is implemented here: per-benchmark warmup, batch-size
+//! calibration for sub-millisecond bodies, median-of-N sampling (the
+//! median is robust to scheduler noise, which dominates short runs in
+//! CI containers), and machine-readable JSON output so successive PRs
+//! can diff perf trajectories (`BENCH_baseline.json` at the repo root
+//! is the committed anchor).
+//!
+//! Bench binaries set `harness = false` in `Cargo.toml` and drive this
+//! from `main`:
+//!
+//! ```no_run
+//! use dcd_bench::microbench::Harness;
+//!
+//! let mut h = Harness::from_args();
+//! h.bench("group", "case", || { /* timed body */ });
+//! h.finish();
+//! ```
+//!
+//! CLI (mirroring the criterion conventions the repo used):
+//! a bare argument filters benchmarks by substring of `group/name`;
+//! `--samples N` and `--warmup N` override the sampling plan; `--json
+//! PATH` writes the results file; `--list` prints names and exits.
+
+use std::time::{Duration, Instant};
+
+/// One benchmark's aggregated measurements, in nanoseconds per iteration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Record {
+    /// Benchmark group (criterion's `benchmark_group` analogue).
+    pub group: String,
+    /// Case name within the group.
+    pub name: String,
+    /// Median of the per-iteration sample means.
+    pub median_ns: u128,
+    /// Fastest sample.
+    pub min_ns: u128,
+    /// Slowest sample.
+    pub max_ns: u128,
+    /// Number of timed samples taken.
+    pub samples: usize,
+    /// Iterations per sample (calibrated so a sample is measurable).
+    pub batch: u64,
+}
+
+impl Record {
+    fn json(&self) -> String {
+        format!(
+            r#"{{"group":{},"name":{},"median_ns":{},"min_ns":{},"max_ns":{},"samples":{},"batch":{}}}"#,
+            json_string(&self.group),
+            json_string(&self.name),
+            self.median_ns,
+            self.min_ns,
+            self.max_ns,
+            self.samples,
+            self.batch
+        )
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The benchmark runner: registers cases, times them, reports.
+pub struct Harness {
+    filter: Option<String>,
+    samples: usize,
+    warmup_iters: u64,
+    json_path: Option<String>,
+    list_only: bool,
+    records: Vec<Record>,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness {
+            filter: None,
+            samples: 10,
+            warmup_iters: 3,
+            json_path: None,
+            list_only: false,
+            records: Vec::new(),
+        }
+    }
+}
+
+impl Harness {
+    /// A harness with the default plan (10 samples, 3 warmup iterations).
+    pub fn new() -> Self {
+        Harness::default()
+    }
+
+    /// Builds a harness from the process arguments (see module docs).
+    pub fn from_args() -> Self {
+        let mut h = Harness::new();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--samples" => {
+                    h.samples = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--samples needs a number");
+                }
+                "--warmup" => {
+                    h.warmup_iters = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--warmup needs a number");
+                }
+                "--json" => {
+                    h.json_path = Some(args.next().expect("--json needs a path"));
+                }
+                "--list" => h.list_only = true,
+                // Flags cargo-bench plumbing may pass through; ignore.
+                "--bench" | "--exact" | "--nocapture" => {}
+                other if other.starts_with("--") => {}
+                other => h.filter = Some(other.to_string()),
+            }
+        }
+        h
+    }
+
+    /// Overrides the sampling plan.
+    pub fn with_plan(mut self, samples: usize, warmup_iters: u64) -> Self {
+        self.samples = samples.max(1);
+        self.warmup_iters = warmup_iters;
+        self
+    }
+
+    /// Sets (or clears) the JSON output path.
+    pub fn with_json_path(mut self, path: Option<String>) -> Self {
+        self.json_path = path;
+        self
+    }
+
+    fn selected(&self, group: &str, name: &str) -> bool {
+        match &self.filter {
+            Some(f) => format!("{group}/{name}").contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    /// Times `body`, recording a result row under `group`/`name`.
+    ///
+    /// Plan: `warmup_iters` untimed runs, one calibration run sizing the
+    /// batch so a sample takes ≥ [`MIN_SAMPLE`](Self::MIN_SAMPLE), then
+    /// `samples` timed batches; the reported figure is the median
+    /// per-iteration time.
+    pub fn bench(&mut self, group: &str, name: &str, mut body: impl FnMut()) {
+        if !self.selected(group, name) {
+            return;
+        }
+        if self.list_only {
+            println!("{group}/{name}");
+            return;
+        }
+        for _ in 0..self.warmup_iters {
+            body();
+        }
+        // Calibrate: batch fast bodies so one sample is measurable.
+        let t0 = Instant::now();
+        body();
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let batch = (Self::MIN_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut per_iter: Vec<u128> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                body();
+            }
+            per_iter.push(t.elapsed().as_nanos() / batch as u128);
+        }
+        per_iter.sort_unstable();
+        let record = Record {
+            group: group.to_string(),
+            name: name.to_string(),
+            median_ns: per_iter[per_iter.len() / 2],
+            min_ns: per_iter[0],
+            max_ns: per_iter[per_iter.len() - 1],
+            samples: self.samples,
+            batch,
+        };
+        println!(
+            "{:<28} {:<24} median {:>12}  (min {}, max {}, {} samples × {} iters)",
+            record.group,
+            record.name,
+            format_ns(record.median_ns),
+            format_ns(record.min_ns),
+            format_ns(record.max_ns),
+            record.samples,
+            record.batch,
+        );
+        self.records.push(record);
+    }
+
+    /// Minimum time one sample should take; bodies faster than this are
+    /// batched.
+    pub const MIN_SAMPLE: Duration = Duration::from_millis(2);
+
+    /// Results recorded so far.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Serializes all records as a stable, diffable JSON document.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .records
+            .iter()
+            .map(|r| format!("    {}", r.json()))
+            .collect();
+        format!(
+            "{{\n  \"schema\": 1,\n  \"results\": [\n{}\n  ]\n}}\n",
+            rows.join(",\n")
+        )
+    }
+
+    /// Prints the summary and writes the JSON file if one was requested.
+    /// Returns the records.
+    pub fn finish(self) -> Vec<Record> {
+        if let Some(path) = &self.json_path {
+            std::fs::write(path, self.to_json())
+                .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            println!("wrote {} results to {path}", self.records.len());
+        }
+        self.records
+    }
+}
+
+fn format_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet() -> Harness {
+        Harness::new().with_plan(3, 1)
+    }
+
+    #[test]
+    fn bench_records_plausible_timings() {
+        let mut h = quiet();
+        h.bench("g", "spin", || {
+            std::hint::black_box((0..1000u64).sum::<u64>());
+        });
+        let r = &h.records()[0];
+        assert_eq!((r.group.as_str(), r.name.as_str()), ("g", "spin"));
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+        assert!(r.batch >= 1);
+        assert_eq!(r.samples, 3);
+    }
+
+    #[test]
+    fn fast_bodies_get_batched() {
+        let mut h = quiet();
+        h.bench("g", "nop", || {
+            std::hint::black_box(1u64);
+        });
+        assert!(h.records()[0].batch > 1, "sub-ns body must batch");
+    }
+
+    #[test]
+    fn filter_selects_by_substring() {
+        let mut h = quiet();
+        h.filter = Some("keep".into());
+        h.bench("group_keep", "a", || {});
+        h.bench("group_drop", "b", || {});
+        assert_eq!(h.records().len(), 1);
+        assert_eq!(h.records()[0].group, "group_keep");
+    }
+
+    #[test]
+    fn json_output_is_wellformed_and_escaped() {
+        let mut h = quiet();
+        h.bench("g\"x", "case\\y", || {});
+        let json = h.to_json();
+        assert!(json.contains(r#""schema": 1"#));
+        assert!(json.contains(r#""group":"g\"x""#));
+        assert!(json.contains(r#""name":"case\\y""#));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn median_is_taken_from_sorted_samples() {
+        let r = Record {
+            group: "g".into(),
+            name: "n".into(),
+            median_ns: 5,
+            min_ns: 1,
+            max_ns: 9,
+            samples: 3,
+            batch: 1,
+        };
+        assert!(r.json().contains("\"median_ns\":5"));
+    }
+}

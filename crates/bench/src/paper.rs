@@ -29,27 +29,216 @@ pub struct Tab2Row {
 
 /// Table 2 (selected rows; the full table is in the paper).
 pub const TABLE2: &[Tab2Row] = &[
-    Tab2Row { query: "SG", dataset: "Tree-11", dcdatalog: 40.37, socialite: Some(30687.42), deals_mc: Some(71.99), souffle: Some(1438.98), recstep: None, ddlog: None },
-    Tab2Row { query: "SG", dataset: "G-10K", dcdatalog: 15.95, socialite: Some(4762.25), deals_mc: Some(76.18), souffle: Some(194.09), recstep: Some(458.41), ddlog: Some(285.78) },
-    Tab2Row { query: "SG", dataset: "RMAT-10K", dcdatalog: 12.02, socialite: Some(5013.76), deals_mc: Some(80.11), souffle: Some(143.46), recstep: Some(512.48), ddlog: Some(184.57) },
-    Tab2Row { query: "SG", dataset: "RMAT-20K", dcdatalog: 54.33, socialite: Some(21048.49), deals_mc: Some(299.16), souffle: Some(664.65), recstep: Some(2378.16), ddlog: Some(728.15) },
-    Tab2Row { query: "SG", dataset: "RMAT-40K", dcdatalog: 231.56, socialite: None, deals_mc: Some(1358.42), souffle: Some(2879.03), recstep: None, ddlog: None },
-    Tab2Row { query: "Delivery", dataset: "N-40M", dcdatalog: 3.27, socialite: Some(233.71), deals_mc: None, souffle: Some(88.06), recstep: Some(40.26), ddlog: Some(163.03) },
-    Tab2Row { query: "Delivery", dataset: "N-80M", dcdatalog: 5.07, socialite: Some(854.73), deals_mc: None, souffle: Some(167.67), recstep: Some(71.71), ddlog: Some(313.24) },
-    Tab2Row { query: "Delivery", dataset: "N-160M", dcdatalog: 11.01, socialite: Some(2332.05), deals_mc: None, souffle: Some(369.81), recstep: Some(154.13), ddlog: Some(741.26) },
-    Tab2Row { query: "Delivery", dataset: "N-300M", dcdatalog: 18.37, socialite: Some(8170.65), deals_mc: None, souffle: Some(729.52), recstep: Some(334.43), ddlog: None },
-    Tab2Row { query: "CC", dataset: "LiveJournal", dcdatalog: 8.44, socialite: Some(31.70), deals_mc: Some(319.88), souffle: None, recstep: Some(55.12), ddlog: Some(556.90) },
-    Tab2Row { query: "CC", dataset: "Orkut", dcdatalog: 11.02, socialite: Some(40.91), deals_mc: Some(379.30), souffle: None, recstep: Some(49.41), ddlog: Some(942.60) },
-    Tab2Row { query: "CC", dataset: "Arabic", dcdatalog: 50.31, socialite: Some(184.55), deals_mc: None, souffle: None, recstep: Some(495.54), ddlog: None },
-    Tab2Row { query: "CC", dataset: "Twitter", dcdatalog: 77.22, socialite: None, deals_mc: None, souffle: None, recstep: Some(637.51), ddlog: None },
-    Tab2Row { query: "SSSP", dataset: "LiveJournal", dcdatalog: 11.82, socialite: Some(42.36), deals_mc: Some(791.83), souffle: None, recstep: Some(212.50), ddlog: Some(891.49) },
-    Tab2Row { query: "SSSP", dataset: "Orkut", dcdatalog: 8.60, socialite: Some(36.84), deals_mc: Some(361.71), souffle: None, recstep: Some(88.01), ddlog: Some(611.01) },
-    Tab2Row { query: "SSSP", dataset: "Arabic", dcdatalog: 9.83, socialite: Some(61.69), deals_mc: None, souffle: None, recstep: Some(113.96), ddlog: None },
-    Tab2Row { query: "SSSP", dataset: "Twitter", dcdatalog: 23.79, socialite: None, deals_mc: None, souffle: None, recstep: Some(178.24), ddlog: None },
-    Tab2Row { query: "PageRank", dataset: "LiveJournal", dcdatalog: 112.29, socialite: Some(12339.52), deals_mc: None, souffle: None, recstep: None, ddlog: Some(2295.93) },
-    Tab2Row { query: "PageRank", dataset: "Orkut", dcdatalog: 45.45, socialite: Some(4770.41), deals_mc: None, souffle: None, recstep: None, ddlog: Some(1672.18) },
-    Tab2Row { query: "PageRank", dataset: "Arabic", dcdatalog: 202.81, socialite: None, deals_mc: None, souffle: None, recstep: None, ddlog: None },
-    Tab2Row { query: "PageRank", dataset: "Twitter", dcdatalog: 2008.95, socialite: None, deals_mc: None, souffle: None, recstep: None, ddlog: None },
+    Tab2Row {
+        query: "SG",
+        dataset: "Tree-11",
+        dcdatalog: 40.37,
+        socialite: Some(30687.42),
+        deals_mc: Some(71.99),
+        souffle: Some(1438.98),
+        recstep: None,
+        ddlog: None,
+    },
+    Tab2Row {
+        query: "SG",
+        dataset: "G-10K",
+        dcdatalog: 15.95,
+        socialite: Some(4762.25),
+        deals_mc: Some(76.18),
+        souffle: Some(194.09),
+        recstep: Some(458.41),
+        ddlog: Some(285.78),
+    },
+    Tab2Row {
+        query: "SG",
+        dataset: "RMAT-10K",
+        dcdatalog: 12.02,
+        socialite: Some(5013.76),
+        deals_mc: Some(80.11),
+        souffle: Some(143.46),
+        recstep: Some(512.48),
+        ddlog: Some(184.57),
+    },
+    Tab2Row {
+        query: "SG",
+        dataset: "RMAT-20K",
+        dcdatalog: 54.33,
+        socialite: Some(21048.49),
+        deals_mc: Some(299.16),
+        souffle: Some(664.65),
+        recstep: Some(2378.16),
+        ddlog: Some(728.15),
+    },
+    Tab2Row {
+        query: "SG",
+        dataset: "RMAT-40K",
+        dcdatalog: 231.56,
+        socialite: None,
+        deals_mc: Some(1358.42),
+        souffle: Some(2879.03),
+        recstep: None,
+        ddlog: None,
+    },
+    Tab2Row {
+        query: "Delivery",
+        dataset: "N-40M",
+        dcdatalog: 3.27,
+        socialite: Some(233.71),
+        deals_mc: None,
+        souffle: Some(88.06),
+        recstep: Some(40.26),
+        ddlog: Some(163.03),
+    },
+    Tab2Row {
+        query: "Delivery",
+        dataset: "N-80M",
+        dcdatalog: 5.07,
+        socialite: Some(854.73),
+        deals_mc: None,
+        souffle: Some(167.67),
+        recstep: Some(71.71),
+        ddlog: Some(313.24),
+    },
+    Tab2Row {
+        query: "Delivery",
+        dataset: "N-160M",
+        dcdatalog: 11.01,
+        socialite: Some(2332.05),
+        deals_mc: None,
+        souffle: Some(369.81),
+        recstep: Some(154.13),
+        ddlog: Some(741.26),
+    },
+    Tab2Row {
+        query: "Delivery",
+        dataset: "N-300M",
+        dcdatalog: 18.37,
+        socialite: Some(8170.65),
+        deals_mc: None,
+        souffle: Some(729.52),
+        recstep: Some(334.43),
+        ddlog: None,
+    },
+    Tab2Row {
+        query: "CC",
+        dataset: "LiveJournal",
+        dcdatalog: 8.44,
+        socialite: Some(31.70),
+        deals_mc: Some(319.88),
+        souffle: None,
+        recstep: Some(55.12),
+        ddlog: Some(556.90),
+    },
+    Tab2Row {
+        query: "CC",
+        dataset: "Orkut",
+        dcdatalog: 11.02,
+        socialite: Some(40.91),
+        deals_mc: Some(379.30),
+        souffle: None,
+        recstep: Some(49.41),
+        ddlog: Some(942.60),
+    },
+    Tab2Row {
+        query: "CC",
+        dataset: "Arabic",
+        dcdatalog: 50.31,
+        socialite: Some(184.55),
+        deals_mc: None,
+        souffle: None,
+        recstep: Some(495.54),
+        ddlog: None,
+    },
+    Tab2Row {
+        query: "CC",
+        dataset: "Twitter",
+        dcdatalog: 77.22,
+        socialite: None,
+        deals_mc: None,
+        souffle: None,
+        recstep: Some(637.51),
+        ddlog: None,
+    },
+    Tab2Row {
+        query: "SSSP",
+        dataset: "LiveJournal",
+        dcdatalog: 11.82,
+        socialite: Some(42.36),
+        deals_mc: Some(791.83),
+        souffle: None,
+        recstep: Some(212.50),
+        ddlog: Some(891.49),
+    },
+    Tab2Row {
+        query: "SSSP",
+        dataset: "Orkut",
+        dcdatalog: 8.60,
+        socialite: Some(36.84),
+        deals_mc: Some(361.71),
+        souffle: None,
+        recstep: Some(88.01),
+        ddlog: Some(611.01),
+    },
+    Tab2Row {
+        query: "SSSP",
+        dataset: "Arabic",
+        dcdatalog: 9.83,
+        socialite: Some(61.69),
+        deals_mc: None,
+        souffle: None,
+        recstep: Some(113.96),
+        ddlog: None,
+    },
+    Tab2Row {
+        query: "SSSP",
+        dataset: "Twitter",
+        dcdatalog: 23.79,
+        socialite: None,
+        deals_mc: None,
+        souffle: None,
+        recstep: Some(178.24),
+        ddlog: None,
+    },
+    Tab2Row {
+        query: "PageRank",
+        dataset: "LiveJournal",
+        dcdatalog: 112.29,
+        socialite: Some(12339.52),
+        deals_mc: None,
+        souffle: None,
+        recstep: None,
+        ddlog: Some(2295.93),
+    },
+    Tab2Row {
+        query: "PageRank",
+        dataset: "Orkut",
+        dcdatalog: 45.45,
+        socialite: Some(4770.41),
+        deals_mc: None,
+        souffle: None,
+        recstep: None,
+        ddlog: Some(1672.18),
+    },
+    Tab2Row {
+        query: "PageRank",
+        dataset: "Arabic",
+        dcdatalog: 202.81,
+        socialite: None,
+        deals_mc: None,
+        souffle: None,
+        recstep: None,
+        ddlog: None,
+    },
+    Tab2Row {
+        query: "PageRank",
+        dataset: "Twitter",
+        dcdatalog: 2008.95,
+        socialite: None,
+        deals_mc: None,
+        souffle: None,
+        recstep: None,
+        ddlog: None,
+    },
 ];
 
 /// Table 3 — APSP: (dataset, DCDatalog, SociaLite, DDlog).

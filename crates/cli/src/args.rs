@@ -187,16 +187,26 @@ mod tests {
     #[test]
     fn full_flag_set() {
         let c = parse(&[
-            "run", "p.dl",
-            "--edb", "arc=edges.csv",
-            "--edb", "warc=w.tsv",
-            "--param", "start=5",
-            "--param", "alpha=0.85",
-            "--workers", "8",
-            "--strategy", "ssp:3",
-            "--timeout", "60",
-            "--print", "tc",
-            "--limit", "0",
+            "run",
+            "p.dl",
+            "--edb",
+            "arc=edges.csv",
+            "--edb",
+            "warc=w.tsv",
+            "--param",
+            "start=5",
+            "--param",
+            "alpha=0.85",
+            "--workers",
+            "8",
+            "--strategy",
+            "ssp:3",
+            "--timeout",
+            "60",
+            "--print",
+            "tc",
+            "--limit",
+            "0",
             "--no-optimizations",
         ])
         .unwrap();
@@ -213,14 +223,23 @@ mod tests {
 
     #[test]
     fn explain_command() {
-        assert_eq!(parse(&["explain", "p.dl"]).unwrap().command, Command::Explain);
+        assert_eq!(
+            parse(&["explain", "p.dl"]).unwrap().command,
+            Command::Explain
+        );
     }
 
     #[test]
     fn errors_are_helpful() {
         assert!(parse(&[]).unwrap_err().to_string().contains("usage"));
-        assert!(parse(&["frobnicate", "p.dl"]).unwrap_err().to_string().contains("unknown command"));
-        assert!(parse(&["run"]).unwrap_err().to_string().contains("missing program"));
+        assert!(parse(&["frobnicate", "p.dl"])
+            .unwrap_err()
+            .to_string()
+            .contains("unknown command"));
+        assert!(parse(&["run"])
+            .unwrap_err()
+            .to_string()
+            .contains("missing program"));
         assert!(parse(&["run", "p.dl", "--edb", "nope"])
             .unwrap_err()
             .to_string()

@@ -12,7 +12,7 @@ fn parse_line(line: &str, lineno: usize, path: &str) -> Result<Option<Tuple>> {
         return Ok(None);
     }
     let mut vals = Vec::new();
-    for field in line.split(|c: char| c == ',' || c == '\t' || c == ' ') {
+    for field in line.split([',', '\t', ' ']) {
         let field = field.trim();
         if field.is_empty() {
             continue;
@@ -36,15 +36,13 @@ fn parse_line(line: &str, lineno: usize, path: &str) -> Result<Option<Tuple>> {
 
 /// Reads a whole file of rows.
 pub fn load_file(path: &Path) -> Result<Vec<Tuple>> {
-    let file = std::fs::File::open(path).map_err(|e| {
-        DcdError::Execution(format!("cannot open '{}': {e}", path.display()))
-    })?;
+    let file = std::fs::File::open(path)
+        .map_err(|e| DcdError::Execution(format!("cannot open '{}': {e}", path.display())))?;
     let reader = std::io::BufReader::new(file);
     let mut rows = Vec::new();
     let display = path.display().to_string();
     for (i, line) in reader.lines().enumerate() {
-        let line =
-            line.map_err(|e| DcdError::Execution(format!("{display}:{}: {e}", i + 1)))?;
+        let line = line.map_err(|e| DcdError::Execution(format!("{display}:{}: {e}", i + 1)))?;
         if let Some(t) = parse_line(&line, i + 1, &display)? {
             rows.push(t);
         }
@@ -69,11 +67,7 @@ mod tests {
 
     #[test]
     fn mixed_delimiters_and_comments() {
-        let rows = load_str(
-            "# a comment\n1, 2\n3\t4\n5 6\n% another\n\n7,  8\n",
-            "test",
-        )
-        .unwrap();
+        let rows = load_str("# a comment\n1, 2\n3\t4\n5 6\n% another\n\n7,  8\n", "test").unwrap();
         assert_eq!(rows.len(), 4);
         assert_eq!(rows[0], Tuple::from_ints(&[1, 2]));
         assert_eq!(rows[3], Tuple::from_ints(&[7, 8]));

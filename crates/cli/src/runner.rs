@@ -35,14 +35,22 @@ pub fn run_cli(cli: &Cli, out: &mut impl Write) -> Result<()> {
     }
     let result = engine.run()?;
     let names: Vec<String> = if cli.print.is_empty() {
-        result.relation_names().iter().map(|s| s.to_string()).collect()
+        result
+            .relation_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
     } else {
         cli.print.clone()
     };
     for name in names {
         let rows = result.sorted(&name);
         let _ = writeln!(out, "{name} ({} rows):", rows.len());
-        let shown = if cli.limit == 0 { rows.len() } else { cli.limit };
+        let shown = if cli.limit == 0 {
+            rows.len()
+        } else {
+            cli.limit
+        };
         for row in rows.iter().take(shown) {
             let _ = writeln!(out, "  {name}{row}");
         }

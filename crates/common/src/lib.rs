@@ -14,10 +14,18 @@
 //! * [`DcdError`] — the workspace-wide error type.
 //! * [`stats`] — streaming mean/variance and EWMA estimators used by the DWS
 //!   coordination strategy to track arrival and service rates.
+//! * [`rng`] — first-party seedable PRNGs (SplitMix64, xoshiro256++) so the
+//!   workspace needs no external `rand`: every dataset and test input is
+//!   bit-for-bit reproducible from a seed.
+//! * [`proptest`] — a first-party property-testing harness (generators,
+//!   runner, counterexample shrinking) replacing the external `proptest`
+//!   crate; see DESIGN.md §"Hermetic build".
 
 pub mod error;
 pub mod hash;
 pub mod partition;
+pub mod proptest;
+pub mod rng;
 pub mod stats;
 pub mod tuple;
 pub mod value;

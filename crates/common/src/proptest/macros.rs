@@ -1,0 +1,133 @@
+//! The `proptest!` / `prop_assert*` / `prop_oneof!` macros, mirroring
+//! the upstream crate's syntax so test suites port mechanically.
+
+/// Declares property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))] // optional
+///     #[test]
+///     fn my_property(a in any::<i64>(), b in 0usize..10) {
+///         prop_assert!(a.checked_mul(b as i64).is_some() || a.abs() > 1);
+///     }
+/// }
+/// ```
+///
+/// Each function body runs once per generated case; failures (panics or
+/// `prop_assert!`) are shrunk to a minimal counterexample.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!($crate::proptest::Config::default(); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg = $cfg;
+            let __strategy = ($($strategy,)+);
+            $crate::proptest::check(&__cfg, &__strategy, |__value| {
+                let ($($arg,)+) = ::core::clone::Clone::clone(__value);
+                $body
+            });
+        }
+    )*};
+}
+
+/// Weighted (or unweighted) choice between strategies:
+/// `prop_oneof![3 => a, 1 => b]` or `prop_oneof![a, b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::proptest::strategy::Union::new(vec![
+            $(($weight as u32, $crate::proptest::strategy::BoxedStrategy::new($strategy)),)+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strategy),+]
+    };
+}
+
+/// Property-test assertion; identical to `assert!` (the runner catches
+/// the panic and shrinks).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property-test equality assertion; identical to `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property-test inequality assertion; identical to `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn macro_generates_runnable_properties(
+            a in any::<i64>(),
+            mut v in crate::proptest::collection::vec(0i64..10, 0..5),
+        ) {
+            v.push(a);
+            prop_assert_eq!(v.last().copied(), Some(a));
+            prop_assert!(v.len() <= 5);
+            prop_assert_ne!(v.len(), 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn config_attribute_is_honoured(x in 0u64..5, y in 0u64..5) {
+            prop_assert!(x < 5 && y < 5);
+        }
+    }
+
+    proptest! {
+        #[test]
+        #[should_panic(expected = "minimal counterexample")]
+        fn failing_property_panics_with_counterexample(x in any::<u64>()) {
+            prop_assert!(x % 2 == 0 || x < 7);
+        }
+    }
+
+    #[test]
+    fn run_the_macro_defined_tests() {
+        // The functions above carry their own #[test] attributes; this
+        // test exists only to document that the macro defines plain
+        // functions at module scope.
+        macro_generates_runnable_properties();
+    }
+
+    #[test]
+    fn prop_oneof_unweighted_and_weighted_forms() {
+        use crate::proptest::source::DataSource;
+        use crate::proptest::strategy::{Just, Strategy};
+        let u = prop_oneof![Just(1u8), Just(2u8)];
+        let w = prop_oneof![3 => Just(1u8), 1 => Just(2u8)];
+        let mut src = DataSource::replay(vec![0]);
+        assert_eq!(u.generate(&mut src), 1);
+        let mut src = DataSource::replay(vec![0]);
+        assert_eq!(w.generate(&mut src), 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! Counterexample shrinking over recorded choice streams.
+//!
+//! Shrinking never touches generated values directly: it edits the
+//! recorded `u64` choice stream and re-runs the generator, keeping any
+//! edit whose regenerated value still fails the property. Three passes
+//! repeat until a fixpoint (or the execution budget runs out):
+//!
+//! 1. **Span deletion** — delta-debugging style removal of chunks, from
+//!    half the stream down to single choices. Removes list elements,
+//!    collapses unions onto earlier arms, drops whole subterms.
+//! 2. **Span zeroing** — forces chunks to the canonical "simplest"
+//!    choice without changing stream length.
+//! 3. **Per-choice binary search** — minimizes each individual choice
+//!    toward zero, which finds exact boundary counterexamples (e.g. the
+//!    smallest integer that fails).
+
+/// Shrinks `script`, a choice stream whose generated value fails the
+/// property. `still_fails` regenerates from a candidate stream and
+/// returns `Some(value)` iff the property still fails. Returns the
+/// minimal stream found and its (failing) generated value.
+///
+/// `budget` caps the number of `still_fails` executions.
+pub fn shrink<V>(
+    mut script: Vec<u64>,
+    initial_value: V,
+    mut still_fails: impl FnMut(&[u64]) -> Option<V>,
+    budget: u32,
+) -> (Vec<u64>, V) {
+    let mut best = initial_value;
+    let mut left = budget;
+    loop {
+        let mut improved = false;
+
+        // Pass 1: delete spans, largest chunks first.
+        let mut chunk = script.len().next_power_of_two().max(1);
+        while chunk >= 1 && left > 0 {
+            let mut start = 0;
+            while start < script.len() && left > 0 {
+                let end = (start + chunk).min(script.len());
+                let mut candidate = Vec::with_capacity(script.len() - (end - start));
+                candidate.extend_from_slice(&script[..start]);
+                candidate.extend_from_slice(&script[end..]);
+                left -= 1;
+                if let Some(v) = still_fails(&candidate) {
+                    script = candidate;
+                    best = v;
+                    improved = true;
+                    // Retry the same start: the next chunk shifted in.
+                } else {
+                    start += chunk;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+
+        // Pass 2: zero spans.
+        let mut chunk = script.len().next_power_of_two().max(1);
+        while chunk >= 1 && left > 0 {
+            let mut start = 0;
+            while start < script.len() && left > 0 {
+                let end = (start + chunk).min(script.len());
+                if script[start..end].iter().any(|&x| x != 0) {
+                    let mut candidate = script.clone();
+                    candidate[start..end].fill(0);
+                    left -= 1;
+                    if let Some(v) = still_fails(&candidate) {
+                        script = candidate;
+                        best = v;
+                        improved = true;
+                    }
+                }
+                start += chunk;
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+
+        // Pass 3: binary-search each choice toward zero.
+        for i in 0..script.len() {
+            if script[i] == 0 || left == 0 {
+                continue;
+            }
+            // `lo` is known to pass (zeroing was tried above), `hi` to fail.
+            let mut lo = 0u64;
+            let mut hi = script[i];
+            let mut candidate = script.clone();
+            while hi - lo > 1 && left > 0 {
+                let mid = lo + (hi - lo) / 2;
+                candidate[i] = mid;
+                left -= 1;
+                match still_fails(&candidate) {
+                    Some(v) => {
+                        hi = mid;
+                        best = v;
+                    }
+                    None => lo = mid,
+                }
+            }
+            if hi < script[i] {
+                script[i] = hi;
+                improved = true;
+            }
+        }
+
+        if !improved || left == 0 {
+            return (script, best);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proptest::source::DataSource;
+    use crate::proptest::strategy::{any, collection, Strategy};
+
+    fn fails_with<'a, S: Strategy>(
+        strategy: &'a S,
+        pred: impl Fn(&S::Value) -> bool + Copy + 'a,
+    ) -> impl FnMut(&[u64]) -> Option<S::Value> + 'a {
+        move |script| {
+            let mut src = DataSource::replay(script.to_vec());
+            let v = strategy.generate(&mut src);
+            pred(&v).then_some(v)
+        }
+    }
+
+    #[test]
+    fn binary_search_finds_exact_boundary() {
+        let strat = any::<u64>();
+        // Property "x < 100" fails for x >= 100; minimal counterexample 100.
+        let (_, v) = shrink(
+            vec![8_731_442_223],
+            8_731_442_223,
+            fails_with(&strat, |&x| x >= 100),
+            10_000,
+        );
+        assert_eq!(v, 100);
+    }
+
+    #[test]
+    fn deletion_shrinks_lists_to_minimal_length() {
+        let strat = collection::vec(0u64..1000, 0..50);
+        // Failing property: the list contains at least 2 elements >= 10.
+        let pred = |v: &Vec<u64>| v.iter().filter(|&&x| x >= 10).count() >= 2;
+        let mut src = DataSource::fresh(crate::rng::Rng::seed_from_u64(77));
+        let mut value = strat.generate(&mut src);
+        while !pred(&value) {
+            src = DataSource::fresh(crate::rng::Rng::seed_from_u64(src.draw()));
+            value = strat.generate(&mut src);
+        }
+        let (_, v) = shrink(src.into_script(), value, fails_with(&strat, pred), 10_000);
+        assert_eq!(v, vec![10, 10], "minimal: exactly two boundary elements");
+    }
+
+    #[test]
+    fn budget_zero_returns_input_unchanged() {
+        let strat = any::<u64>();
+        let (s, v) = shrink(vec![500], 500, fails_with(&strat, |&x| x >= 100), 0);
+        assert_eq!(s, vec![500]);
+        assert_eq!(v, 500);
+    }
+}

@@ -1,0 +1,79 @@
+//! The recorded choice stream that generators draw from.
+
+use crate::rng::Rng;
+
+/// A source of `u64` choices for strategy generation.
+///
+/// In *fresh* mode, choices come from a seeded PRNG and are recorded; in
+/// *replay* mode, choices come from an (edited) recording, with zeros
+/// substituted once the recording is exhausted — so any stream, however
+/// mangled by the shrinker, still generates a valid value.
+pub struct DataSource {
+    rng: Option<Rng>,
+    script: Vec<u64>,
+    pos: usize,
+}
+
+impl DataSource {
+    /// A fresh source drawing from `rng` and recording every choice.
+    pub fn fresh(rng: Rng) -> Self {
+        DataSource {
+            rng: Some(rng),
+            script: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// A replay source reading choices from `script` (zeros when past
+    /// the end).
+    pub fn replay(script: Vec<u64>) -> Self {
+        DataSource {
+            rng: None,
+            script,
+            pos: 0,
+        }
+    }
+
+    /// Draws the next choice.
+    #[inline]
+    pub fn draw(&mut self) -> u64 {
+        match &mut self.rng {
+            Some(rng) => {
+                let v = rng.next_u64();
+                self.script.push(v);
+                v
+            }
+            None => {
+                let v = self.script.get(self.pos).copied().unwrap_or(0);
+                self.pos += 1;
+                v
+            }
+        }
+    }
+
+    /// The recorded (fresh mode) or supplied (replay mode) choice stream.
+    pub fn into_script(self) -> Vec<u64> {
+        self.script
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_records_what_it_draws() {
+        let mut src = DataSource::fresh(Rng::seed_from_u64(1));
+        let drawn: Vec<u64> = (0..5).map(|_| src.draw()).collect();
+        assert_eq!(src.into_script(), drawn);
+    }
+
+    #[test]
+    fn replay_echoes_script_then_zeros() {
+        let mut src = DataSource::replay(vec![7, 8]);
+        assert_eq!(src.draw(), 7);
+        assert_eq!(src.draw(), 8);
+        assert_eq!(src.draw(), 0);
+        assert_eq!(src.draw(), 0);
+    }
+}

@@ -1,7 +1,8 @@
 //! Property tests for the value/tuple model and partitioning.
 
+use dcd_common::proptest;
+use dcd_common::proptest::prelude::*;
 use dcd_common::{Partitioner, Tuple, Value};
-use proptest::prelude::*;
 
 fn value_strategy() -> impl Strategy<Value = Value> {
     prop_oneof![

@@ -71,7 +71,10 @@ pub struct EvalResult {
 impl EvalResult {
     /// Rows of derived relation `name` (empty slice when absent).
     pub fn relation(&self, name: &str) -> &[Tuple] {
-        self.relations.get(name).map(|v| v.as_slice()).unwrap_or(&[])
+        self.relations
+            .get(name)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Sorted rows of `name` (convenience for tests/doctests).

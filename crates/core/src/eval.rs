@@ -241,10 +241,7 @@ mod tests {
             "sg(X, Y) <- arc(P, X), arc(P, Y), X != Y.",
             &[(
                 "arc",
-                vec![
-                    Tuple::from_ints(&[0, 1]),
-                    Tuple::from_ints(&[0, 2]),
-                ],
+                vec![Tuple::from_ints(&[0, 1]), Tuple::from_ints(&[0, 2])],
             )],
         );
         let ev = Evaluator {
@@ -273,10 +270,7 @@ mod tests {
                 ("src", vec![Tuple::from_ints(&[1])]),
                 (
                     "warc",
-                    vec![
-                        Tuple::from_ints(&[1, 2, 10]),
-                        Tuple::from_ints(&[2, 3, 5]),
-                    ],
+                    vec![Tuple::from_ints(&[1, 2, 10]), Tuple::from_ints(&[2, 3, 5])],
                 ),
             ],
         );
@@ -312,7 +306,12 @@ mod tests {
         let p = plan(&a, &PlannerConfig::default()).unwrap();
         let arc_id = p.rel_by_name("arc").unwrap();
         let rows: Vec<Tuple> = (0..10)
-            .flat_map(|i| vec![Tuple::from_ints(&[i, 100 + i]), Tuple::from_ints(&[i, 200 + i])])
+            .flat_map(|i| {
+                vec![
+                    Tuple::from_ints(&[i, 100 + i]),
+                    Tuple::from_ints(&[i, 200 + i]),
+                ]
+            })
             .collect();
         let mut data: Vec<Option<Vec<Tuple>>> = vec![None; p.edb.len()];
         data[arc_id] = Some(rows);

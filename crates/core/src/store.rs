@@ -6,9 +6,11 @@
 //! index (§6.2.1) and the existence-check cache (§6.2.2).
 
 use dcd_common::{Partitioner, Tuple, Value, WorkerId};
-use dcd_frontend::physical::{PhysicalPlan, Placement, RelId, StorageKind};
-use dcd_storage::{AggCache, AggFunc as StAggFunc, AggRelation, BPlusTree, BaseRelation, SetRelation, TupleCache};
 use dcd_frontend::ast::AggFunc;
+use dcd_frontend::physical::{PhysicalPlan, Placement, RelId, StorageKind};
+use dcd_storage::{
+    AggCache, AggFunc as StAggFunc, AggRelation, BPlusTree, BaseRelation, SetRelation, TupleCache,
+};
 
 /// Outcome of merging one incoming row.
 #[derive(Debug, PartialEq)]
@@ -95,7 +97,11 @@ impl RecStore {
                 epsilon,
             } => {
                 set = None;
-                agg = Some(AggRelation::new(to_storage_func(*func), *group_cols, *epsilon));
+                agg = Some(AggRelation::new(
+                    to_storage_func(*func),
+                    *group_cols,
+                    *epsilon,
+                ));
                 tuple_cache = None;
                 agg_cache = (optimized && matches!(func, AggFunc::Min | AggFunc::Max))
                     .then(|| AggCache::new(cache_slots));
@@ -369,7 +375,10 @@ mod tests {
         let p = cc_plan();
         let cc2 = p.rel_by_name("cc2").unwrap();
         let mut s = RecStore::new(&p, cc2, true, 64);
-        assert!(matches!(s.merge(&Tuple::from_ints(&[5, 9])), Merged::New(_)));
+        assert!(matches!(
+            s.merge(&Tuple::from_ints(&[5, 9])),
+            Merged::New(_)
+        ));
         assert_eq!(s.merge(&Tuple::from_ints(&[5, 9])), Merged::Old);
         assert_eq!(s.merge(&Tuple::from_ints(&[5, 10])), Merged::Old);
         match s.merge(&Tuple::from_ints(&[5, 3])) {

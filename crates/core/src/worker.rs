@@ -21,8 +21,8 @@ use dcd_common::hash::FastMap;
 use dcd_common::{DcdError, Partitioner, Result, Tuple, WorkerId};
 use dcd_frontend::physical::{PhysicalPlan, RelId};
 use dcd_runtime::{
-    Batch, BufferMatrix, DwsController, IdleOutcome, RoundBarrier, SspClock, Strategy,
-    Termination, WorkerEndpoints,
+    Batch, BufferMatrix, DwsController, IdleOutcome, RoundBarrier, SspClock, Strategy, Termination,
+    WorkerEndpoints,
 };
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
@@ -139,7 +139,9 @@ impl PartialAgg {
                 // Exact-duplicate elimination.
                 self.best.entry((rel, row.clone())).or_insert(row);
             }
-            StorageKind::Agg { func, group_cols, .. } => {
+            StorageKind::Agg {
+                func, group_cols, ..
+            } => {
                 let (key_cols, keep_better): (usize, Option<AggFunc>) = match func {
                     AggFunc::Min | AggFunc::Max => (*group_cols, Some(*func)),
                     // Contributor is part of the key; later rows replace.
@@ -171,7 +173,10 @@ impl PartialAgg {
     }
 
     fn into_rows(self) -> Vec<(RelId, Tuple)> {
-        self.best.into_iter().map(|((rel, _), row)| (rel, row)).collect()
+        self.best
+            .into_iter()
+            .map(|((rel, _), row)| (rel, row))
+            .collect()
     }
 }
 
@@ -284,7 +289,12 @@ impl<'a> Worker<'a> {
     }
 
     /// Algorithm 1: a global barrier after every iteration.
-    fn global_loop(&mut self, si: usize, store: &mut WorkerStore, mut delta: DeltaSet) -> Result<()> {
+    fn global_loop(
+        &mut self,
+        si: usize,
+        store: &mut WorkerStore,
+        mut delta: DeltaSet,
+    ) -> Result<()> {
         // Initial new-tuple count: what init distributed locally + remotely
         // is already in `delta`/queues; the first round drains and counts.
         loop {
@@ -360,10 +370,7 @@ impl<'a> Worker<'a> {
 
             // SSP: stay within `s` iterations of the frontier.
             if is_ssp {
-                let abort = || {
-                    self.coord.abort.load(Ordering::SeqCst)
-                        || sc.termination.is_done()
-                };
+                let abort = || self.coord.abort.load(Ordering::SeqCst) || sc.termination.is_done();
                 sc.ssp.wait_if_ahead(self.me, abort);
             }
 

@@ -248,11 +248,7 @@ fn pagerank_converges_to_uniform_on_a_cycle() {
 
 #[test]
 fn empty_edb_yields_empty_results() {
-    let mut e = Engine::new(
-        queries::tc().unwrap(),
-        EngineConfig::with_workers(2),
-    )
-    .unwrap();
+    let mut e = Engine::new(queries::tc().unwrap(), EngineConfig::with_workers(2)).unwrap();
     e.load_edges("arc", &[]).unwrap();
     let r = e.run().unwrap();
     assert!(r.relation("tc").is_empty());
@@ -333,11 +329,8 @@ fn nested_loop_over_derived_relation() {
     .unwrap();
     for workers in [1, 3] {
         let mut e = Engine::new(program.clone(), EngineConfig::with_workers(workers)).unwrap();
-        e.load_edb(
-            "src",
-            (1..=6).map(|i| Tuple::from_ints(&[i])).collect(),
-        )
-        .unwrap();
+        e.load_edb("src", (1..=6).map(|i| Tuple::from_ints(&[i])).collect())
+            .unwrap();
         let r = e.run().unwrap();
         // odds {1,3,5} × evens {2,4,6} = 9 pairs.
         assert_eq!(r.relation("pairs").len(), 9, "workers={workers}");

@@ -29,9 +29,8 @@ pub use trees::{n_tree, tree};
 pub use webgraph::{arabic_like, livejournal_like, orkut_like, twitter_like};
 
 use dcd_common::hash::FastMap;
+use dcd_common::rng::Rng;
 use dcd_common::Tuple;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Directed edge list with integer vertex ids.
 pub type Edges = Vec<(i64, i64)>;
@@ -39,7 +38,7 @@ pub type Edges = Vec<(i64, i64)>;
 /// Assigns uniform random weights in `1..=max_w` to an edge list.
 pub fn weighted(edges: &[(i64, i64)], max_w: i64, seed: u64) -> Vec<(i64, i64, i64)> {
     assert!(max_w >= 1);
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x77ed);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x77ed);
     edges
         .iter()
         .map(|&(a, b)| (a, b, rng.gen_range(1..=max_w)))

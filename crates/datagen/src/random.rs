@@ -1,8 +1,7 @@
 //! Uniform random digraphs (the paper's G-10K dataset).
 
 use crate::Edges;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use dcd_common::rng::Rng;
 
 /// Generates a G(n, p) random digraph: each ordered pair `(u, v)`,
 /// `u != v`, is an edge with probability `p`.
@@ -13,7 +12,7 @@ use rand::{Rng, SeedableRng};
 pub fn gnp(n: usize, p: f64, seed: u64) -> Edges {
     assert!(n >= 2);
     assert!((0.0..=1.0).contains(&p));
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x69b9);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x69b9);
     let target = ((n * (n - 1)) as f64 * p).round() as usize;
     let mut seen = std::collections::HashSet::with_capacity(target * 2);
     let mut out = Vec::with_capacity(target);

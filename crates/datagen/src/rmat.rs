@@ -8,8 +8,7 @@
 //! the straggler-inducing shape DWS targets.
 
 use crate::Edges;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use dcd_common::rng::Rng;
 
 /// Standard RMAT quadrant probabilities.
 pub const RMAT_A: f64 = 0.57;
@@ -29,7 +28,7 @@ pub fn rmat_with(n: usize, edges: usize, seed: u64) -> Edges {
     assert!(n >= 2, "need at least two vertices");
     let scale = (n as f64).log2().ceil() as u32;
     let side = 1usize << scale;
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x8a7a);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x8a7a);
     let mut out: Edges = Vec::with_capacity(edges);
     let mut seen = std::collections::HashSet::with_capacity(edges * 2);
     let mut attempts = 0usize;
@@ -40,7 +39,7 @@ pub fn rmat_with(n: usize, edges: usize, seed: u64) -> Edges {
         let (mut y0, mut y1) = (0usize, side);
         while x1 - x0 > 1 {
             // Add noise per level so repeated descents decorrelate.
-            let r: f64 = rng.gen();
+            let r: f64 = rng.gen_f64();
             let (mx, my) = ((x0 + x1) / 2, (y0 + y1) / 2);
             if r < RMAT_A {
                 x1 = mx;

@@ -1,13 +1,12 @@
 //! Tree generators: Tree-*h* (SG) and N-*n* (Delivery).
 
 use crate::Edges;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use dcd_common::rng::Rng;
 
 /// Tree-*h*: a tree of height `h` where every non-leaf vertex has a
 /// uniform-random 2–6 children (paper §7.1.1). Edges point parent→child.
 pub fn tree(height: usize, seed: u64) -> Edges {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x7ee5);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x7ee5);
     let mut edges = Vec::new();
     let mut frontier = vec![0i64];
     let mut next_id = 1i64;
@@ -32,7 +31,7 @@ pub fn tree(height: usize, seed: u64) -> Edges {
 /// parent→child, which is the `assbl(Part, SubPart)` orientation of the
 /// Delivery query.
 pub fn n_tree(n: usize, seed: u64) -> Edges {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x4ee);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x4ee);
     let mut edges = Vec::with_capacity(n);
     let mut frontier = vec![0i64];
     let mut next_id = 1i64;
@@ -72,7 +71,7 @@ pub fn n_tree(n: usize, seed: u64) -> Edges {
 pub fn leaf_days(assbl: &[(i64, i64)], max_days: i64, seed: u64) -> Vec<(i64, i64)> {
     use std::collections::HashSet;
     let parents: HashSet<i64> = assbl.iter().map(|&(p, _)| p).collect();
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0xdaee);
+    let mut rng = Rng::seed_from_u64(seed ^ 0xdaee);
     let mut out = Vec::new();
     for &(_, c) in assbl {
         if !parents.contains(&c) {

@@ -164,10 +164,7 @@ pub fn analyze(ast: ProgramAst) -> Result<AnalyzedProgram> {
         collect_params_rule(rule, &mut params);
         if rule.body.is_empty() {
             let vals = ground_head(&rule.head).ok_or_else(|| {
-                DcdError::Analysis(format!(
-                    "fact '{}' must have constant arguments",
-                    rule.head
-                ))
+                DcdError::Analysis(format!("fact '{}' must have constant arguments", rule.head))
             })?;
             facts.push((head_id, Tuple::new(&vals)));
             continue;
@@ -610,10 +607,7 @@ mod tests {
         );
         let pos = |name: &str| {
             let id = a.catalog.id(name).unwrap();
-            a.strata
-                .iter()
-                .position(|s| s.preds.contains(&id))
-                .unwrap()
+            a.strata.iter().position(|s| s.preds.contains(&id)).unwrap()
         };
         assert!(pos("b") < pos("c"));
         assert!(pos("c") < pos("d"));
@@ -629,8 +623,10 @@ mod tests {
 
     #[test]
     fn params_collected() {
-        let a = analyze_src("sp(To, min<C>) <- sp(F, C1), warc(F, To, C2), C = C1 + C2.
-                             sp(To, min<C>) <- w(To), To = start, C = 0.");
+        let a = analyze_src(
+            "sp(To, min<C>) <- sp(F, C1), warc(F, To, C2), C = C1 + C2.
+                             sp(To, min<C>) <- w(To), To = start, C = 0.",
+        );
         assert!(a.params.contains("start"));
     }
 
@@ -667,10 +663,8 @@ mod tests {
 
     #[test]
     fn mixed_agg_plain_rules_rejected() {
-        let e = analyze(
-            parse_program("p(X, min<Y>) <- q(X, Y). p(X, Y) <- r(X, Y).").unwrap(),
-        )
-        .unwrap_err();
+        let e = analyze(parse_program("p(X, min<Y>) <- q(X, Y). p(X, Y) <- r(X, Y).").unwrap())
+            .unwrap_err();
         assert!(e.to_string().contains("mixes aggregate"));
     }
 

@@ -229,9 +229,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let text = &src[start..i];
@@ -243,7 +241,11 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                 }
             }
             other => {
-                return Err(err(&format!("unexpected character '{}'", other as char), l, c));
+                return Err(err(
+                    &format!("unexpected character '{}'", other as char),
+                    l,
+                    c,
+                ));
             }
         }
     }

@@ -195,7 +195,14 @@ fn order_variant(rule: &Rule, delta: Option<usize>) -> RuleVariant {
     let mut bound: BTreeSet<&str> = BTreeSet::new();
     for (k, &ai) in order.iter().enumerate() {
         bound.extend(atom_vars(atoms[ai]));
-        place_constraints(rule, &cons_lits, &mut bound, &mut placed, k, &mut constraints_at);
+        place_constraints(
+            rule,
+            &cons_lits,
+            &mut bound,
+            &mut placed,
+            k,
+            &mut constraints_at,
+        );
     }
     if order.is_empty() {
         // Constraint-only rule (e.g. `sp(To, min<C>) <- To = start, C = 0.`).

@@ -187,9 +187,7 @@ impl Parser {
             TokenKind::Gt => CmpOp::Gt,
             TokenKind::Ge => CmpOp::Ge,
             other => {
-                return Err(self.error(format!(
-                    "expected a comparison operator, found {other:?}"
-                )))
+                return Err(self.error(format!("expected a comparison operator, found {other:?}")))
             }
         };
         self.bump();

@@ -546,8 +546,10 @@ impl PlanCompiler<'_> {
                 };
                 if *op == CmpOp::Eq {
                     // Binding form? Exactly when one side is an unbound var.
-                    let l_unbound = matches!(lhs, Expr::Term(Term::Var(x)) if !regs.contains_key(x));
-                    let r_unbound = matches!(rhs, Expr::Term(Term::Var(x)) if !regs.contains_key(x));
+                    let l_unbound =
+                        matches!(lhs, Expr::Term(Term::Var(x)) if !regs.contains_key(x));
+                    let r_unbound =
+                        matches!(rhs, Expr::Term(Term::Var(x)) if !regs.contains_key(x));
                     if l_unbound || r_unbound {
                         let (var_side, expr_side) = if l_unbound { (lhs, rhs) } else { (rhs, lhs) };
                         let Expr::Term(Term::Var(name)) = var_side else {
@@ -594,11 +596,7 @@ impl PlanCompiler<'_> {
         };
         for (k, &ai) in step_atoms.iter().enumerate() {
             let atom = atoms[ai];
-            let rel = self
-                .prog
-                .catalog
-                .id(&atom.pred)
-                .expect("catalog complete");
+            let rel = self.prog.catalog.id(&atom.pred).expect("catalog complete");
             // Probe column: first column whose term is already bound.
             let mut probe: Option<(usize, CExpr)> = None;
             for (col, t) in atom.terms.iter().enumerate() {
@@ -635,11 +633,7 @@ impl PlanCompiler<'_> {
                 Some((col, key)) => {
                     if self.is_edb(rel) {
                         self.edb_probes[rel].insert(col);
-                        (
-                            Probe::Index { col, key },
-                            JoinKind::Hash,
-                            Target::Edb(rel),
-                        )
+                        (Probe::Index { col, key }, JoinKind::Hash, Target::Edb(rel))
                     } else {
                         self.idb_probe_cols[rel].insert(col);
                         self.route_requirements[rel].insert(col);
@@ -735,9 +729,11 @@ impl PlanCompiler<'_> {
     }
 
     fn param(&self, name: &str) -> Result<Value> {
-        self.cfg.params.get(name).copied().ok_or_else(|| {
-            DcdError::Planning(format!("parameter '{name}' not supplied"))
-        })
+        self.cfg
+            .params
+            .get(name)
+            .copied()
+            .ok_or_else(|| DcdError::Planning(format!("parameter '{name}' not supplied")))
     }
 
     fn compile_expr(&self, e: &Expr, regs: &FastMap<String, u16>) -> Result<CExpr> {
@@ -761,18 +757,17 @@ impl PlanCompiler<'_> {
     }
 
     fn compile_head(&self, rule: &Rule, regs: &FastMap<String, u16>) -> Result<Vec<CExpr>> {
-        let term_expr = |t: &Term| -> Result<CExpr> {
-            Ok(match t {
-                Term::Var(v) => CExpr::Reg(*regs.get(v).ok_or_else(|| {
-                    DcdError::Planning(format!("head variable '{v}' unbound"))
-                })?),
-                Term::Const(c) => CExpr::Const(*c),
-                Term::Param(p) => CExpr::Const(self.param(p)?),
-                Term::Wildcard => {
-                    return Err(DcdError::Planning("wildcard in head".into()))
-                }
-            })
-        };
+        let term_expr =
+            |t: &Term| -> Result<CExpr> {
+                Ok(match t {
+                    Term::Var(v) => CExpr::Reg(*regs.get(v).ok_or_else(|| {
+                        DcdError::Planning(format!("head variable '{v}' unbound"))
+                    })?),
+                    Term::Const(c) => CExpr::Const(*c),
+                    Term::Param(p) => CExpr::Const(self.param(p)?),
+                    Term::Wildcard => return Err(DcdError::Planning("wildcard in head".into())),
+                })
+            };
         let mut out = Vec::with_capacity(rule.head.terms.len() + 1);
         for t in &rule.head.terms {
             match t {
@@ -797,10 +792,7 @@ impl PlanCompiler<'_> {
 
     /// Resolves EDB placement and IDB routing, patching route indices into
     /// the compiled delta specs.
-    fn resolve_declarations(
-        &mut self,
-        strata: &mut [PhysStratum],
-    ) -> Result<Declarations> {
+    fn resolve_declarations(&mut self, strata: &mut [PhysStratum]) -> Result<Declarations> {
         let n = self.prog.catalog.len();
 
         // IDB routing columns.
@@ -1068,7 +1060,10 @@ mod tests {
         );
         let arc = p.rel_by_name("arc").unwrap();
         // Two probe keys (A and B) cannot both be aligned: replicate.
-        assert_eq!(p.edb[arc].as_ref().unwrap().placement, Placement::Replicated);
+        assert_eq!(
+            p.edb[arc].as_ref().unwrap().placement,
+            Placement::Replicated
+        );
         let sg = p.rel_by_name("sg").unwrap();
         assert!(!p.idb[sg].as_ref().unwrap().broadcast);
     }
@@ -1087,8 +1082,11 @@ mod tests {
         assert_eq!(d.index_cols, vec![0, 1]);
         let s = &p.strata[0];
         assert_eq!(s.delta_rules.len(), 2);
-        let routes: BTreeSet<usize> =
-            s.delta_rules.iter().map(|r| r.delta.as_ref().unwrap().route).collect();
+        let routes: BTreeSet<usize> = s
+            .delta_rules
+            .iter()
+            .map(|r| r.delta.as_ref().unwrap().route)
+            .collect();
         assert_eq!(routes, BTreeSet::from([0, 1]));
         // Both variants index-join the other path occurrence.
         for r in &s.delta_rules {

@@ -1,11 +1,12 @@
 //! Property tests for the frontend: pretty-print → re-parse round-trips,
 //! and planner totality over generated well-formed programs.
 
+use dcd_common::proptest;
+use dcd_common::proptest::prelude::*;
 use dcd_frontend::analysis::analyze;
 use dcd_frontend::ast::*;
 use dcd_frontend::parser::parse_program;
 use dcd_frontend::physical::{plan, PlannerConfig};
-use proptest::prelude::*;
 
 fn var_name() -> impl Strategy<Value = String> {
     (0u8..6).prop_map(|i| format!("V{i}"))
@@ -24,14 +25,21 @@ fn term() -> impl Strategy<Value = Term> {
 }
 
 fn atom(max_arity: usize) -> impl Strategy<Value = Atom> {
-    (pred_name(), proptest::collection::vec(term(), 1..=max_arity))
+    (
+        pred_name(),
+        proptest::collection::vec(term(), 1..=max_arity),
+    )
         .prop_map(|(pred, terms)| Atom { pred, terms })
 }
 
 /// A safe rule: the head repeats variables drawn from the body atoms.
 fn rule() -> impl Strategy<Value = Rule> {
-    (proptest::collection::vec(atom(3), 1..4), pred_name(), 1usize..3).prop_map(
-        |(body, head_pred, head_arity)| {
+    (
+        proptest::collection::vec(atom(3), 1..4),
+        pred_name(),
+        1usize..3,
+    )
+        .prop_map(|(body, head_pred, head_arity)| {
             // Collect body variables; fall back to a constant if none.
             let mut vars: Vec<String> = body
                 .iter()
@@ -59,8 +67,7 @@ fn rule() -> impl Strategy<Value = Rule> {
                 },
                 body: body.into_iter().map(BodyLit::Atom).collect(),
             }
-        },
-    )
+        })
 }
 
 proptest! {

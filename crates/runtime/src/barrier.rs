@@ -6,7 +6,7 @@
 //! arriver declares the global fixpoint when a full round produced
 //! nothing anywhere.
 
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex};
 
 struct BarrierState {
     arrived: usize,
@@ -43,7 +43,7 @@ impl RoundBarrier {
     /// with the next global iteration, `false` when the global fixpoint
     /// (an all-zero round) was reached.
     pub fn arrive(&self, new_tuples: u64) -> bool {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         if st.done {
             return false;
         }
@@ -62,14 +62,14 @@ impl RoundBarrier {
         }
         let gen = st.generation;
         while st.generation == gen && !st.done {
-            self.cv.wait(&mut st);
+            st = self.cv.wait(st).unwrap();
         }
         !st.done
     }
 
     /// Marks the barrier as finished, releasing all waiters (cancellation).
     pub fn cancel(&self) {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.done = true;
         st.generation += 1;
         self.cv.notify_all();

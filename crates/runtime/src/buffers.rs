@@ -89,7 +89,11 @@ impl BufferMatrix {
                 c
             })
             .collect();
-        WorkerEndpoints { to_peer, from_peer, me }
+        WorkerEndpoints {
+            to_peer,
+            from_peer,
+            me,
+        }
     }
 
     /// Whether every queue destined for worker `i` is currently empty

@@ -5,6 +5,8 @@
 //!
 //! * [`spsc`] — the lock-free Single-Producer Single-Consumer ring queue
 //!   (Figure 6) that carries delta batches between workers.
+//! * [`mpsc`] — an unbounded Vyukov-style Multi-Producer Single-Consumer
+//!   queue for n→1 fan-in paths (first-party `SegQueue` replacement).
 //! * [`buffers`] — the `n × n` message-buffer matrix `M_i^j`.
 //! * [`termination`] — counter-based global-fixpoint detection.
 //! * [`barrier`] — the per-global-iteration barrier of the `Global`
@@ -20,6 +22,7 @@
 pub mod barrier;
 pub mod buffers;
 pub mod dws;
+pub mod mpsc;
 pub mod simulator;
 pub mod spsc;
 pub mod ssp;
@@ -29,6 +32,7 @@ pub mod termination;
 pub use barrier::RoundBarrier;
 pub use buffers::{Batch, BufferMatrix, WorkerEndpoints};
 pub use dws::{DwsConfig, DwsController};
+pub use mpsc::MpscQueue;
 pub use spsc::SpscQueue;
 pub use ssp::SspClock;
 pub use strategy::Strategy;

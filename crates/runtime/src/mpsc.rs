@@ -1,0 +1,232 @@
+//! Multi-Producer Single-Consumer queue (first-party `SegQueue`
+//! replacement).
+//!
+//! The runtime's cross-worker fan-in paths (and the termination tests)
+//! need a queue any worker can push into while one owner drains it.
+//! [`SpscQueue`](crate::spsc::SpscQueue) covers the 1→1 paths; this
+//! module covers n→1 with the same standard-library-only discipline.
+//!
+//! Design: Vyukov's non-intrusive MPSC linked queue. Producers are
+//! lock-free — `push` is one allocation, one `swap`, one `store` — and
+//! never contend with the consumer. The consumer side holds a tiny
+//! `Mutex` around its head pointer, which producers never touch, so the
+//! lock is uncontended in the single-consumer pattern this queue is
+//! for, while keeping the API safe for any caller.
+
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+struct Node<T> {
+    next: AtomicPtr<Node<T>>,
+    value: Option<T>,
+}
+
+impl<T> Node<T> {
+    fn alloc(value: Option<T>) -> *mut Node<T> {
+        Box::into_raw(Box::new(Node {
+            next: AtomicPtr::new(ptr::null_mut()),
+            value,
+        }))
+    }
+}
+
+/// An unbounded MPSC FIFO queue: lock-free producers, mutex-guarded
+/// (but producer-independent) consumer.
+pub struct MpscQueue<T> {
+    /// Last enqueued node; producers swap themselves in here.
+    tail: AtomicPtr<Node<T>>,
+    /// The stub/consumed node preceding the first live element; only the
+    /// consumer path takes this lock.
+    head: Mutex<*mut Node<T>>,
+    /// Element count — `push` increments after linking, `pop` decrements
+    /// after unlinking, so `len` may transiently lag but converges.
+    len: AtomicUsize,
+}
+
+// SAFETY: nodes are owned by the queue; producers only touch `tail` and
+// the `next` pointer of the node they previously owned, the consumer
+// only walks from `head` under its mutex. `T` crosses threads, hence
+// `T: Send` on both bounds.
+unsafe impl<T: Send> Send for MpscQueue<T> {}
+unsafe impl<T: Send> Sync for MpscQueue<T> {}
+
+impl<T> MpscQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        let stub = Node::alloc(None);
+        MpscQueue {
+            tail: AtomicPtr::new(stub),
+            head: Mutex::new(stub),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Enqueues `value`. Safe from any number of threads concurrently;
+    /// never blocks (one heap allocation per element).
+    pub fn push(&self, value: T) {
+        let node = Node::alloc(Some(value));
+        // Claim the tail slot, then link the previous tail to us. Between
+        // the swap and the store the queue is momentarily "split"; pop
+        // observes that as a transient empty and retries later.
+        let prev = self.tail.swap(node, Ordering::AcqRel);
+        // SAFETY: `prev` is a node we have exclusive linking rights to —
+        // only the producer that swapped it out of `tail` stores its
+        // `next`, and the consumer frees it only after `next` is read
+        // non-null.
+        unsafe {
+            (*prev).next.store(node, Ordering::Release);
+        }
+        self.len.fetch_add(1, Ordering::Release);
+    }
+
+    /// Dequeues the oldest element, or `None` when the queue is empty
+    /// (or momentarily split by an in-flight `push`).
+    pub fn pop(&self) -> Option<T> {
+        let mut head = self.head.lock().unwrap();
+        let stub = *head;
+        // SAFETY: `*head` is always a valid node owned by the consumer
+        // side; producers never read or free it.
+        let next = unsafe { (*stub).next.load(Ordering::Acquire) };
+        if next.is_null() {
+            return None;
+        }
+        // SAFETY: `next` was published by a producer's release-store,
+        // so its `value` write happened-before; the old stub is ours to
+        // free now that head has moved past it.
+        let value = unsafe {
+            *head = next;
+            let v = (*next).value.take();
+            drop(Box::from_raw(stub));
+            v
+        };
+        self.len.fetch_sub(1, Ordering::Release);
+        debug_assert!(value.is_some(), "non-stub node carries a value");
+        value
+    }
+
+    /// Number of enqueued elements (exact when quiescent, approximate
+    /// under concurrent pushes).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Whether the queue is empty (approximate under concurrency).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Default for MpscQueue<T> {
+    fn default() -> Self {
+        MpscQueue::new()
+    }
+}
+
+impl<T> Drop for MpscQueue<T> {
+    fn drop(&mut self) {
+        // Drain live elements, then free the final stub.
+        while self.pop().is_some() {}
+        let stub = *self.head.get_mut().unwrap();
+        // SAFETY: after draining, `stub` is the only remaining node.
+        unsafe {
+            drop(Box::from_raw(stub));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_single_thread() {
+        let q = MpscQueue::new();
+        assert!(q.is_empty());
+        for i in 0..10 {
+            q.push(i);
+        }
+        assert_eq!(q.len(), 10);
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let q = MpscQueue::new();
+        for round in 0..1000 {
+            q.push(round);
+            q.push(round + 1000);
+            assert_eq!(q.pop(), Some(round));
+            assert_eq!(q.pop(), Some(round + 1000));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn many_producers_one_consumer() {
+        const PRODUCERS: u64 = 4;
+        const PER_PRODUCER: u64 = 20_000;
+        let q = Arc::new(MpscQueue::new());
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    q.push(p * PER_PRODUCER + i);
+                }
+            }));
+        }
+        // Consume concurrently with production.
+        let mut seen = Vec::with_capacity((PRODUCERS * PER_PRODUCER) as usize);
+        while seen.len() < (PRODUCERS * PER_PRODUCER) as usize {
+            match q.pop() {
+                Some(v) => seen.push(v),
+                None => std::thread::yield_now(),
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(q.pop(), None);
+        // Every value exactly once, and per-producer order preserved.
+        let mut last = vec![None::<u64>; PRODUCERS as usize];
+        for &v in &seen {
+            let p = (v / PER_PRODUCER) as usize;
+            assert!(last[p] < Some(v), "per-producer FIFO violated");
+            last[p] = Some(v);
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), (PRODUCERS * PER_PRODUCER) as usize);
+    }
+
+    #[test]
+    fn drop_releases_queued_values() {
+        let sentinel = Arc::new(());
+        {
+            let q = MpscQueue::new();
+            for _ in 0..5 {
+                q.push(Arc::clone(&sentinel));
+            }
+            assert_eq!(Arc::strong_count(&sentinel), 6);
+        }
+        assert_eq!(Arc::strong_count(&sentinel), 1);
+    }
+
+    #[test]
+    fn len_tracks_pushes_and_pops() {
+        let q = MpscQueue::new();
+        q.push('a');
+        q.push('b');
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert_eq!(q.len(), 0);
+    }
+}

@@ -578,20 +578,21 @@ pub fn figure3_workload() -> SimWorkload {
     // Heavy chain builder: spine of `len` vertices starting at `base`,
     // each spine vertex carrying `leaves` pendant leaves (same owner), so
     // every spine iteration scans many adjacency entries.
-    let mut heavy = |base: u64, len: u64, leaves: u64, worker: usize, edges: &mut Vec<(u64, u64)>| {
-        for i in 0..len {
-            let v = base + i;
-            owner.insert(v, worker);
-            if i + 1 < len {
-                edges.push((v, v + 1));
+    let mut heavy =
+        |base: u64, len: u64, leaves: u64, worker: usize, edges: &mut Vec<(u64, u64)>| {
+            for i in 0..len {
+                let v = base + i;
+                owner.insert(v, worker);
+                if i + 1 < len {
+                    edges.push((v, v + 1));
+                }
+                for l in 0..leaves {
+                    let leaf = base + 1000 + i * leaves + l;
+                    owner.insert(leaf, worker);
+                    edges.push((v, leaf));
+                }
             }
-            for l in 0..leaves {
-                let leaf = base + 1000 + i * leaves + l;
-                owner.insert(leaf, worker);
-                edges.push((v, leaf));
-            }
-        }
-    };
+        };
     heavy(100, 8, 6, 1, &mut edges);
     heavy(10_000, 8, 6, 2, &mut edges);
     // The label-1 wave: W0's tail feeds W1's spine head, whose tail feeds
@@ -674,7 +675,11 @@ mod tests {
         let edges = [(1u64, 2, 10), (1, 3, 2), (3, 2, 3), (2, 4, 1)];
         for workers in [1, 2, 4] {
             let w = SimWorkload::sssp_partitioned(&edges, 1, workers);
-            let r = simulate(&w, &SimConfig::default(), SimStrategy::Dws { omega: 2, tau: 2 });
+            let r = simulate(
+                &w,
+                &SimConfig::default(),
+                SimStrategy::Dws { omega: 2, tau: 2 },
+            );
             assert_eq!(r.labels[&1], 0);
             assert_eq!(r.labels[&2], 5, "via 3");
             assert_eq!(r.labels[&3], 2);

@@ -13,8 +13,8 @@
 //! `produced == consumed` under the lock is a sound, race-free fixpoint
 //! test — the double-check epoch trick of DESIGN.md.
 
-use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
 /// Outcome of [`Termination::idle_wait`].
@@ -76,7 +76,7 @@ impl Termination {
     /// Force termination (used for error propagation / cancellation).
     pub fn cancel(&self) {
         self.done.store(true, Ordering::SeqCst);
-        let _guard = self.idle.lock();
+        let _guard = self.idle.lock().unwrap();
         self.cv.notify_all();
     }
 
@@ -95,7 +95,7 @@ impl Termination {
     /// consumption before calling; `has_work` must be a cheap, lock-free
     /// inbox check.
     pub fn idle_wait(&self, mut has_work: impl FnMut() -> bool) -> IdleOutcome {
-        let mut idle = self.idle.lock();
+        let mut idle = self.idle.lock().unwrap();
         *idle += 1;
         loop {
             if self.done.load(Ordering::SeqCst) {
@@ -118,7 +118,7 @@ impl Termination {
                 *idle -= 1;
                 return IdleOutcome::Work;
             }
-            self.cv.wait_for(&mut idle, self.poll);
+            idle = self.cv.wait_timeout(idle, self.poll).unwrap().0;
         }
     }
 }
@@ -185,7 +185,7 @@ mod tests {
         // repeatedly going idle; both must terminate exactly once all
         // tuples are consumed.
         let t = Arc::new(det(2));
-        let queue = Arc::new(crossbeam::queue::SegQueue::new());
+        let queue = Arc::new(crate::mpsc::MpscQueue::new());
         let consumed_total = Arc::new(AtomicUsize::new(0));
 
         let producer = {

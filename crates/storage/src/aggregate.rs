@@ -262,7 +262,10 @@ mod tests {
             r.merge(&Tuple::from_ints(&[1, 10])),
             MergeOutcome::Updated(Tuple::from_ints(&[1, 10]))
         );
-        assert_eq!(r.merge(&Tuple::from_ints(&[1, 12])), MergeOutcome::Unchanged);
+        assert_eq!(
+            r.merge(&Tuple::from_ints(&[1, 12])),
+            MergeOutcome::Unchanged
+        );
         assert_eq!(
             r.merge(&Tuple::from_ints(&[1, 7])),
             MergeOutcome::Updated(Tuple::from_ints(&[1, 7]))
@@ -304,7 +307,10 @@ mod tests {
             MergeOutcome::Updated(Tuple::from_ints(&[1, 1]))
         );
         // Same contributor again: no change.
-        assert_eq!(r.merge(&Tuple::from_ints(&[1, 100])), MergeOutcome::Unchanged);
+        assert_eq!(
+            r.merge(&Tuple::from_ints(&[1, 100])),
+            MergeOutcome::Unchanged
+        );
         assert_eq!(
             r.merge(&Tuple::from_ints(&[1, 101])),
             MergeOutcome::Updated(Tuple::from_ints(&[1, 2]))
@@ -316,11 +322,23 @@ mod tests {
     fn sum_replaces_contributions() {
         // PageRank-style: rank(X, sum<(Y, K)>).
         let mut r = AggRelation::new(AggFunc::Sum, 1, 0.0);
-        r.merge(&Tuple::new(&[Value::Int(1), Value::Int(7), Value::Float(0.5)]));
-        r.merge(&Tuple::new(&[Value::Int(1), Value::Int(8), Value::Float(0.25)]));
+        r.merge(&Tuple::new(&[
+            Value::Int(1),
+            Value::Int(7),
+            Value::Float(0.5),
+        ]));
+        r.merge(&Tuple::new(&[
+            Value::Int(1),
+            Value::Int(8),
+            Value::Float(0.25),
+        ]));
         assert_eq!(r.get(&Tuple::from_ints(&[1])), Some(Value::Float(0.75)));
         // Contributor 7 revises its contribution: replaced, not added.
-        let out = r.merge(&Tuple::new(&[Value::Int(1), Value::Int(7), Value::Float(0.1)]));
+        let out = r.merge(&Tuple::new(&[
+            Value::Int(1),
+            Value::Int(7),
+            Value::Float(0.1),
+        ]));
         assert!(matches!(out, MergeOutcome::Updated(_)));
         let v = r.get(&Tuple::from_ints(&[1])).unwrap().as_f64();
         assert!((v - 0.35).abs() < 1e-12);
@@ -329,7 +347,11 @@ mod tests {
     #[test]
     fn sum_epsilon_suppresses_tiny_deltas() {
         let mut r = AggRelation::new(AggFunc::Sum, 1, 0.1);
-        let first = r.merge(&Tuple::new(&[Value::Int(1), Value::Int(2), Value::Float(1.0)]));
+        let first = r.merge(&Tuple::new(&[
+            Value::Int(1),
+            Value::Int(2),
+            Value::Float(1.0),
+        ]));
         assert!(matches!(first, MergeOutcome::Updated(_)));
         // Moves the total by 0.05 < ε: suppressed.
         let tiny = r.merge(&Tuple::new(&[

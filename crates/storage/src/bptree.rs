@@ -366,7 +366,11 @@ impl<V> BPlusTree<V> {
             return;
         }
         // Merge with a sibling. Merge `right_idx` into `left_idx`.
-        let (left_idx, sep_idx) = if idx > 0 { (idx - 1, idx - 1) } else { (idx, idx) };
+        let (left_idx, sep_idx) = if idx > 0 {
+            (idx - 1, idx - 1)
+        } else {
+            (idx, idx)
+        };
         let sep = keys.remove(sep_idx);
         let right_node = children.remove(left_idx + 1);
         let left_node = &mut *children[left_idx];

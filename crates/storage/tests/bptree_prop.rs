@@ -2,8 +2,9 @@
 //! `std::collections::BTreeMap` under arbitrary operation sequences, and
 //! keep its structural invariants at every step.
 
+use dcd_common::proptest;
+use dcd_common::proptest::prelude::*;
 use dcd_storage::BPlusTree;
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 #[derive(Clone, Debug)]

@@ -16,7 +16,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap_or(5_000);
     let edges = datagen::livejournal_like(scale, 42);
     let nv = datagen::vertex_count(&edges);
-    println!("graph: {} vertices, {} edges (LiveJournal-like / {scale})", nv, edges.len());
+    println!(
+        "graph: {} vertices, {} edges (LiveJournal-like / {scale})",
+        nv,
+        edges.len()
+    );
 
     // Connected components (min-label propagation; undirected).
     let mut engine = Engine::new(queries::cc()?, EngineConfig::default())?;

@@ -6,9 +6,8 @@
 //! cargo run --release --example party_invitations [people] [threshold]
 //! ```
 
+use dcd_common::rng::Rng;
 use dcdatalog_repro::engine::{queries, Engine, EngineConfig, Tuple};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let people: i64 = std::env::args()
@@ -23,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A small-world friendship graph: everyone knows their three
     // predecessors plus ~5 random people; the first five organize the
     // party. The local links let attendance cascade through the crowd.
-    let mut rng = SmallRng::seed_from_u64(0xbeef);
+    let mut rng = Rng::seed_from_u64(0xbeef);
     let mut friends = Vec::new();
     for p in 0..people {
         for d in 1..=3 {
@@ -54,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Cascades are monotone in the threshold: raising it can only shrink
     // the party.
     let mut engine = Engine::new(queries::attend(threshold + 2)?, EngineConfig::default())?;
-    engine.load_edb("organizer", (0..5).map(|p| Tuple::from_ints(&[p])).collect())?;
+    engine.load_edb(
+        "organizer",
+        (0..5).map(|p| Tuple::from_ints(&[p])).collect(),
+    )?;
     engine.load_edges("friend", &friends)?;
     let stricter = engine.run()?.relation("attend").len();
     println!("with threshold {}: {stricter} attend", threshold + 2);

@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t = std::time::Instant::now();
     let result = engine.run()?;
     let rows = result.relation("results");
-    println!("computed {} delivery times in {:?}", rows.len(), t.elapsed());
+    println!(
+        "computed {} delivery times in {:?}",
+        rows.len(),
+        t.elapsed()
+    );
 
     // The root assembly (part 0) is gated by its slowest basic part chain.
     let root = rows

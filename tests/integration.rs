@@ -75,20 +75,14 @@ fn strategies_agree_on_a_custom_program() {
     let mut results = Vec::new();
     for strat in [Strategy::Global, Strategy::Ssp { s: 2 }, Strategy::Dws] {
         let program = Program::parse(src).unwrap().with_param("start", 0i64);
-        let mut e = Engine::new(
-            program,
-            EngineConfig::with_workers(3).strategy(strat),
-        )
-        .unwrap();
+        let mut e = Engine::new(program, EngineConfig::with_workers(3).strategy(strat)).unwrap();
         e.load_weighted_edges("warc", &edges).unwrap();
         results.push(e.run().unwrap().sorted("cheap"));
     }
     assert_eq!(results[0], results[1]);
     assert_eq!(results[1], results[2]);
     // The cap must hold.
-    assert!(results[0]
-        .iter()
-        .all(|r| r.values()[1].expect_int() <= 40));
+    assert!(results[0].iter().all(|r| r.values()[1].expect_int() <= 40));
 }
 
 #[test]
@@ -117,7 +111,10 @@ fn optimizations_do_not_change_results() {
     )
     .unwrap();
     off.load_edges("arc", &edges).unwrap();
-    assert_eq!(on.run().unwrap().sorted("cc"), off.run().unwrap().sorted("cc"));
+    assert_eq!(
+        on.run().unwrap().sorted("cc"),
+        off.run().unwrap().sorted("cc")
+    );
 }
 
 #[test]

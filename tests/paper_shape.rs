@@ -17,7 +17,10 @@ fn fig3_schedule_ordering() {
     let g = simulate(&w, &cfg, SimStrategy::Global).makespan;
     let s = simulate(&w, &cfg, SimStrategy::Ssp(1)).makespan;
     let d = simulate(&w, &cfg, SimStrategy::Dws { omega: 4, tau: 3 }).makespan;
-    assert!(d < s && s < g, "expected DWS < SSP < Global, got {d}/{s}/{g}");
+    assert!(
+        d < s && s < g,
+        "expected DWS < SSP < Global, got {d}/{s}/{g}"
+    );
     let ratio = d as f64 / g as f64;
     let paper = 67.0 / 128.0;
     assert!(
@@ -104,7 +107,8 @@ fn tab3_broadcast_exchanges_more() {
             .iter()
             .map(|&(a, b, w)| Tuple::from_ints(&[a, b, w]))
             .collect();
-        let mut routed = Engine::new(queries::apsp().unwrap(), EngineConfig::with_workers(4)).unwrap();
+        let mut routed =
+            Engine::new(queries::apsp().unwrap(), EngineConfig::with_workers(4)).unwrap();
         routed.load_edb("warc", rows.clone()).unwrap();
         let mut cfg = EngineConfig::with_workers(4);
         cfg.broadcast_routing = true;
@@ -118,7 +122,10 @@ fn tab3_broadcast_exchanges_more() {
         );
         gaps.push(bcast_sent as f64 / routed_sent.max(1) as f64);
     }
-    assert!(gaps[1] >= gaps[0] * 0.8, "gap should not collapse: {gaps:?}");
+    assert!(
+        gaps[1] >= gaps[0] * 0.8,
+        "gap should not collapse: {gaps:?}"
+    );
 }
 
 /// Table 4 shape: disabling the §6.2 optimizations must cost measurable
