@@ -203,6 +203,75 @@ fn tc_on_rmat_graph_matches_reference() {
     }
 }
 
+/// Sum coalescing (§5.2.2) under maximal interleaving: a star graph routes
+/// every leaf's contribution into the hub's single group, and
+/// `batch_size = 1` ships each contribution in its own batch, so several
+/// contributors update the group within one gather window. Coalescing
+/// keeps only the newest logical row per group — sound only because
+/// sum-relation delta rows are full `(group, total)` snapshots; this test
+/// would catch a regression to per-contribution increments.
+#[test]
+fn sum_coalescing_star_graph_matches_reference() {
+    let mut edges: Vec<(i64, i64)> = Vec::new();
+    for leaf in 1..=8 {
+        edges.push((leaf, 0));
+        edges.push((0, leaf));
+    }
+    let n = dcd_datagen::vertex_count(&edges);
+    let matrix = dcd_datagen::pagerank_matrix(&edges);
+    let mut reference = Reference::new(queries::PAGERANK)
+        .unwrap()
+        .with_param("alpha", 0.85)
+        .with_param("vnum", n as f64);
+    reference.sum_epsilon = 1e-10;
+    reference.load("matrix", matrix.clone());
+    let expected = reference.run().unwrap();
+    for strat in [Strategy::Global, Strategy::Ssp { s: 1 }, Strategy::Dws] {
+        let name = strat.name();
+        let mut cfg = EngineConfig::with_workers(4).strategy(strat);
+        cfg.sum_epsilon = 1e-10;
+        cfg.batch_size = 1;
+        let mut e = Engine::new(queries::pagerank(0.85, n).unwrap(), cfg).unwrap();
+        e.load_edb("matrix", matrix.clone()).unwrap();
+        let r = e.run().unwrap();
+        let got = r.sorted("results");
+        let want = &expected["results"];
+        assert_eq!(got.len(), want.len(), "{name}");
+        for (g, w) in got.iter().zip(want) {
+            assert_eq!(g.values()[0], w.values()[0], "{name}");
+            let dv = (g.values()[1].as_f64() - w.values()[1].as_f64()).abs();
+            assert!(dv < 1e-6, "{name}: {g:?} vs {w:?}");
+        }
+    }
+}
+
+/// Count coalescing, same shape: person 20's `count<Y>` group receives
+/// one contribution per organizer friend, each in its own batch across 4
+/// workers, and 21 attends only once 20's count crosses the threshold —
+/// so a lost or double-applied contribution changes the answer.
+#[test]
+fn count_coalescing_multiworker_matches_reference() {
+    let orgs: Vec<Tuple> = (0..4).map(|x| Tuple::from_ints(&[x])).collect();
+    let mut friends: Vec<(i64, i64)> = (0..4).map(|o| (20, o)).collect();
+    friends.extend([(21, 0), (21, 1), (21, 20)]);
+    let mut reference = Reference::new(queries::ATTEND)
+        .unwrap()
+        .with_param("threshold", 3i64);
+    reference.load("organizer", orgs.clone());
+    reference.load_edges("friend", &friends);
+    let expected = reference.run().unwrap();
+    for strat in [Strategy::Global, Strategy::Ssp { s: 1 }, Strategy::Dws] {
+        let name = strat.name();
+        let mut cfg = EngineConfig::with_workers(4).strategy(strat);
+        cfg.batch_size = 1;
+        let mut e = Engine::new(queries::attend(3).unwrap(), cfg).unwrap();
+        e.load_edb("organizer", orgs.clone()).unwrap();
+        e.load_edb("friend", to_tuples(&friends)).unwrap();
+        let r = e.run().unwrap();
+        assert_eq!(r.sorted("attend"), expected["attend"], "{name}");
+    }
+}
+
 #[test]
 fn pagerank_totals_match_reference_within_epsilon() {
     let edges = dcd_datagen::rmat_with(32, 100, 5);

@@ -16,7 +16,7 @@
 
 use dcd_bench::datasets::SEED;
 use dcd_bench::microbench::Harness;
-use dcdatalog::{queries, Engine, EngineConfig, Program, Tuple};
+use dcdatalog::{queries, Engine, EngineConfig, EvalReport, Program, Tuple};
 
 fn engine_for(program: &Program, loads: &[(String, Vec<Tuple>)], cfg: EngineConfig) -> Engine {
     let mut e = Engine::new(program.clone(), cfg).expect("plans");
@@ -31,6 +31,25 @@ fn edge_tuples(edges: &[(i64, i64)]) -> Vec<Tuple> {
         .iter()
         .map(|&(a, b)| Tuple::from_ints(&[a, b]))
         .collect()
+}
+
+/// Coordination-metrics annotation for a record: a compact JSON object
+/// summarizing the run's exchange volume and time split, so successive
+/// `BENCH_*.json` files diff on coordination behaviour, not just wall
+/// clock.
+fn coordination_extra(rep: &EvalReport) -> String {
+    format!(
+        r#"{{"strategy":"{}","produced":{},"consumed":{},"iterations":{},"batches_in":{},"idle_ns":{},"gather_ns":{},"iterate_ns":{},"distribute_ns":{}}}"#,
+        rep.strategy,
+        rep.produced,
+        rep.consumed,
+        rep.total(|w| w.iterations),
+        rep.total(|w| w.batches_in),
+        rep.total(|w| w.idle_ns),
+        rep.total(|w| w.gather_ns),
+        rep.total(|w| w.iterate_ns),
+        rep.total(|w| w.distribute_ns),
+    )
 }
 
 fn main() {
@@ -48,11 +67,15 @@ fn main() {
     )];
     for workers in [1usize, 2] {
         let e = engine_for(&tc, &arcs, EngineConfig::with_workers(workers));
-        let rows = e.run().expect("tc runs").relation("tc").len();
-        assert!(rows > 0, "TC produced an empty closure");
+        let warm = e.run().expect("tc runs");
+        assert!(
+            !warm.relation("tc").is_empty(),
+            "TC produced an empty closure"
+        );
         h.bench("baseline_tc", &format!("rmat256_workers{workers}"), || {
             e.run().unwrap();
         });
+        h.annotate_last(coordination_extra(&warm.stats.report));
     }
 
     // SG on a small random tree, single- and two-worker. Height 4 keeps
@@ -62,11 +85,15 @@ fn main() {
     let tree = vec![("arc".to_string(), edge_tuples(&dcd_datagen::tree(4, SEED)))];
     for workers in [1usize, 2] {
         let e = engine_for(&sg, &tree, EngineConfig::with_workers(workers));
-        let rows = e.run().expect("sg runs").relation("sg").len();
-        assert!(rows > 0, "SG produced an empty result");
+        let warm = e.run().expect("sg runs");
+        assert!(
+            !warm.relation("sg").is_empty(),
+            "SG produced an empty result"
+        );
         h.bench("baseline_sg", &format!("tree4_workers{workers}"), || {
             e.run().unwrap();
         });
+        h.annotate_last(coordination_extra(&warm.stats.report));
     }
 
     h.finish();

@@ -43,12 +43,15 @@ pub struct Record {
     pub samples: usize,
     /// Iterations per sample (calibrated so a sample is measurable).
     pub batch: u64,
+    /// Pre-serialized JSON object with run-specific annotations (for the
+    /// baseline bin: coordination metrics); emitted verbatim as `"extra"`.
+    pub extra: Option<String>,
 }
 
 impl Record {
     fn json(&self) -> String {
-        format!(
-            r#"{{"group":{},"name":{},"median_ns":{},"min_ns":{},"max_ns":{},"samples":{},"batch":{}}}"#,
+        let mut out = format!(
+            r#"{{"group":{},"name":{},"median_ns":{},"min_ns":{},"max_ns":{},"samples":{},"batch":{}"#,
             json_string(&self.group),
             json_string(&self.name),
             self.median_ns,
@@ -56,7 +59,12 @@ impl Record {
             self.max_ns,
             self.samples,
             self.batch
-        )
+        );
+        if let Some(extra) = &self.extra {
+            out.push_str(&format!(r#","extra":{extra}"#));
+        }
+        out.push('}');
+        out
     }
 }
 
@@ -199,6 +207,7 @@ impl Harness {
             max_ns: per_iter[per_iter.len() - 1],
             samples: self.samples,
             batch,
+            extra: None,
         };
         println!(
             "{:<28} {:<24} median {:>12}  (min {}, max {}, {} samples × {} iters)",
@@ -211,6 +220,15 @@ impl Harness {
             record.batch,
         );
         self.records.push(record);
+    }
+
+    /// Attaches a pre-serialized JSON object to the most recent record.
+    /// No-op when nothing has been recorded (e.g. the case was filtered
+    /// out) — call it directly after the corresponding `bench`.
+    pub fn annotate_last(&mut self, extra_json: String) {
+        if let Some(r) = self.records.last_mut() {
+            r.extra = Some(extra_json);
+        }
     }
 
     /// Minimum time one sample should take; bodies faster than this are
@@ -322,7 +340,21 @@ mod tests {
             max_ns: 9,
             samples: 3,
             batch: 1,
+            extra: None,
         };
         assert!(r.json().contains("\"median_ns\":5"));
+    }
+
+    #[test]
+    fn extra_annotation_is_emitted_verbatim() {
+        let mut h = quiet();
+        h.bench("g", "annotated", || {});
+        h.annotate_last(r#"{"produced":7,"consumed":7}"#.to_string());
+        let json = h.to_json();
+        assert!(
+            json.contains(r#""extra":{"produced":7,"consumed":7}"#),
+            "{json}"
+        );
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

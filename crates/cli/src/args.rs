@@ -27,6 +27,9 @@ pub struct Cli {
     pub limit: usize,
     /// `--no-optimizations` (Table-4 ablation switch).
     pub optimized: bool,
+    /// `--stats-json PATH` writes the per-worker observability report
+    /// (`-` = stdout).
+    pub stats_json: Option<String>,
 }
 
 /// Subcommands.
@@ -54,6 +57,8 @@ options:
   --limit N             max rows printed per relation (default 20; 0 = all)
   --no-optimizations    disable the aggregate-index and existence-cache
                         optimizations (the paper's Table-4 ablation)
+  --stats-json PATH     write the per-worker observability report (counters,
+                        time splits, DWS ω/τ samples) as JSON; '-' = stdout
 ";
 
 fn err(msg: impl Into<String>) -> DcdError {
@@ -103,6 +108,7 @@ impl Cli {
             print: Vec::new(),
             limit: 20,
             optimized: true,
+            stats_json: None,
         };
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> Result<String> {
@@ -159,6 +165,7 @@ impl Cli {
                         .map_err(|_| err("--limit expects a number"))?;
                 }
                 "--no-optimizations" => cli.optimized = false,
+                "--stats-json" => cli.stats_json = Some(value("--stats-json")?),
                 other => return Err(err(format!("unknown option '{other}'\n{USAGE}"))),
             }
         }
@@ -208,6 +215,8 @@ mod tests {
             "--limit",
             "0",
             "--no-optimizations",
+            "--stats-json",
+            "stats.json",
         ])
         .unwrap();
         assert_eq!(c.edb.len(), 2);
@@ -219,6 +228,7 @@ mod tests {
         assert_eq!(c.print, vec!["tc"]);
         assert_eq!(c.limit, 0);
         assert!(!c.optimized);
+        assert_eq!(c.stats_json.as_deref(), Some("stats.json"));
     }
 
     #[test]

@@ -65,6 +65,17 @@ pub fn run_cli(cli: &Cli, out: &mut impl Write) -> Result<()> {
         result.stats.total_iterations(),
         result.stats.total_sent()
     );
+    if let Some(path) = &cli.stats_json {
+        let json = result.stats.report.to_json();
+        if path == "-" {
+            let _ = out.write_all(json.as_bytes());
+        } else {
+            std::fs::write(path, &json).map_err(|e| {
+                dcd_common::DcdError::Execution(format!("cannot write '{path}': {e}"))
+            })?;
+            let _ = writeln!(out, "wrote stats to {path}");
+        }
+    }
     Ok(())
 }
 
@@ -173,6 +184,47 @@ mod tests {
         run_cli(&c, &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("… 25 more"), "{text}");
+    }
+
+    #[test]
+    fn stats_json_goes_to_stdout_and_file() {
+        let dir = tmpdir();
+        let prog = write(
+            &dir,
+            "tc3.dl",
+            "tc(X, Y) <- arc(X, Y).\ntc(X, Y) <- tc(X, Z), arc(Z, Y).\n",
+        );
+        let edges = write(&dir, "edges3.csv", "1,2\n2,3\n3,4\n");
+        // stdout variant
+        let c = cli(vec![
+            "run".into(),
+            prog.clone(),
+            "--edb".into(),
+            format!("arc={edges}"),
+            "--workers".into(),
+            "2".into(),
+            "--stats-json".into(),
+            "-".into(),
+        ]);
+        let mut out = Vec::new();
+        run_cli(&c, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\"schema\": 1"), "{text}");
+        assert!(text.contains("\"per_worker\""), "{text}");
+        // file variant
+        let path = dir.join("stats.json").display().to_string();
+        let c = cli(vec![
+            "run".into(),
+            prog,
+            "--edb".into(),
+            format!("arc={edges}"),
+            "--stats-json".into(),
+            path.clone(),
+        ]);
+        let mut out = Vec::new();
+        run_cli(&c, &mut out).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"produced\""), "{json}");
     }
 
     #[test]

@@ -76,6 +76,7 @@ pub struct Ewma {
     alpha: f64,
     mean: Option<f64>,
     var: f64,
+    n: u64,
 }
 
 impl Ewma {
@@ -86,12 +87,14 @@ impl Ewma {
             alpha,
             mean: None,
             var: 0.0,
+            n: 0,
         }
     }
 
     /// Adds one sample.
     #[inline]
     pub fn push(&mut self, x: f64) {
+        self.n += 1;
         match self.mean {
             None => {
                 self.mean = Some(x);
@@ -107,7 +110,15 @@ impl Ewma {
         }
     }
 
-    /// Whether any sample has been observed.
+    /// Number of samples observed.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Whether any sample has been observed. One sample carries variance
+    /// 0, so estimators that feed variance-sensitive formulas (Kingman)
+    /// should additionally gate on [`count`](Ewma::count).
     #[inline]
     pub fn is_primed(&self) -> bool {
         self.mean.is_some()
@@ -206,5 +217,20 @@ mod tests {
     #[should_panic(expected = "alpha")]
     fn ewma_rejects_bad_alpha() {
         let _ = Ewma::new(0.0);
+    }
+
+    #[test]
+    fn ewma_counts_samples() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.count(), 0);
+        assert!(!e.is_primed());
+        e.push(1.0);
+        assert_eq!(e.count(), 1);
+        assert!(e.is_primed());
+        assert_eq!(e.variance(), 0.0, "one sample carries no variance");
+        for _ in 0..9 {
+            e.push(2.0);
+        }
+        assert_eq!(e.count(), 10);
     }
 }

@@ -1,6 +1,7 @@
 //! The public DCDatalog API: [`Program`] → [`Engine`] → [`EvalResult`].
 
 use crate::config::EngineConfig;
+use crate::report::EvalReport;
 use crate::store::WorkerStore;
 use crate::worker::{Coordination, Worker, WorkerStats};
 use dcd_common::hash::{FastMap, FastSet};
@@ -46,6 +47,9 @@ pub struct RunStats {
     pub elapsed: Duration,
     /// Per-worker statistics.
     pub workers: Vec<WorkerStats>,
+    /// The full observability report (per-worker counters, time splits,
+    /// DWS ω/τ samples, termination totals).
+    pub report: EvalReport,
 }
 
 impl RunStats {
@@ -257,12 +261,22 @@ impl Engine {
             stores.push(store);
             worker_stats.push(stats);
         }
+        let (produced, consumed) = coord.termination_totals();
+        let report = EvalReport {
+            strategy: self.cfg.strategy.name().to_string(),
+            workers: n,
+            elapsed_ns: elapsed.as_nanos() as u64,
+            produced,
+            consumed,
+            per_worker: coord.metrics.iter().map(|m| m.snapshot()).collect(),
+        };
         let relations = self.collect(stores);
         Ok(EvalResult {
             relations,
             stats: RunStats {
                 elapsed,
                 workers: worker_stats,
+                report,
             },
         })
     }

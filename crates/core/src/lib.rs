@@ -48,10 +48,12 @@ pub mod config;
 pub mod engine;
 pub mod eval;
 pub mod queries;
+pub mod report;
 pub mod store;
 pub mod worker;
 
 pub use config::EngineConfig;
 pub use dcd_common::{DcdError, Result, Tuple, Value};
-pub use dcd_runtime::Strategy;
+pub use dcd_runtime::{MetricsSnapshot, Strategy};
 pub use engine::{Engine, EvalResult, Program, RunStats};
+pub use report::EvalReport;

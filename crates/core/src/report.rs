@@ -1,0 +1,240 @@
+//! Run-level observability: the [`EvalReport`] merges every worker's
+//! [`MetricsSnapshot`] with the termination-protocol totals into one
+//! machine-readable document.
+//!
+//! The report answers the questions the paper's evaluation section asks of
+//! a run — how balanced was the load (per-worker iterate/idle split), how
+//! chatty was the exchange (batches and tuples per worker), and what ω/τ
+//! trajectory did the DWS controller follow — without attaching a
+//! profiler. `to_json` emits the document behind the CLI's `--stats-json`
+//! flag; the schema is versioned so downstream tooling can detect drift.
+//!
+//! Invariant worth stating: after a completed evaluation the termination
+//! counters satisfy `produced == consumed` (that *is* the fixpoint test),
+//! and both equal the tuples that crossed worker boundaries, so
+//! `sum(tuples_sent) == produced` and `sum(tuples_in) == consumed` across
+//! the per-worker recorders. [`EvalReport::reconciles`] checks all four.
+
+use dcd_runtime::MetricsSnapshot;
+
+/// Current `schema` field value of the JSON document.
+pub const REPORT_SCHEMA: u32 = 1;
+
+/// A full per-run observability report.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EvalReport {
+    /// Strategy name: `"Global"`, `"SSP"`, or `"DWS"`.
+    pub strategy: String,
+    /// Number of workers.
+    pub workers: usize,
+    /// Wall-clock evaluation time in nanoseconds.
+    pub elapsed_ns: u64,
+    /// Total tuples announced to the termination protocol as produced.
+    pub produced: u64,
+    /// Total tuples announced as consumed.
+    pub consumed: u64,
+    /// One snapshot per worker, indexed by worker id.
+    pub per_worker: Vec<MetricsSnapshot>,
+}
+
+impl EvalReport {
+    /// Sums `f` over the per-worker snapshots.
+    pub fn total(&self, f: impl Fn(&MetricsSnapshot) -> u64) -> u64 {
+        self.per_worker.iter().map(f).sum()
+    }
+
+    /// Whether the recorder counters reconcile with the termination
+    /// protocol: `produced == consumed`, every produced tuple was recorded
+    /// as sent, and every consumed tuple was recorded as received.
+    pub fn reconciles(&self) -> bool {
+        self.produced == self.consumed
+            && self.total(|w| w.tuples_sent) == self.produced
+            && self.total(|w| w.tuples_in) == self.consumed
+    }
+
+    /// Load-imbalance factor: max over workers of iterate-time divided by
+    /// the mean (1.0 = perfectly balanced; meaningless with 0 workers).
+    pub fn imbalance(&self) -> f64 {
+        if self.per_worker.is_empty() {
+            return 1.0;
+        }
+        let times: Vec<u64> = self.per_worker.iter().map(|w| w.iterate_ns).collect();
+        let mean = times.iter().sum::<u64>() as f64 / times.len() as f64;
+        if mean == 0.0 {
+            return 1.0;
+        }
+        *times.iter().max().expect("non-empty") as f64 / mean
+    }
+
+    /// Fraction of total worker-time spent idle (parked or ω-waiting).
+    pub fn idle_fraction(&self) -> f64 {
+        let busy = self.total(|w| w.gather_ns + w.iterate_ns + w.distribute_ns);
+        let idle = self.total(|w| w.idle_ns + w.omega_wait_ns);
+        if busy + idle == 0 {
+            0.0
+        } else {
+            idle as f64 / (busy + idle) as f64
+        }
+    }
+
+    /// Serializes the report as a stable, diffable JSON document.
+    pub fn to_json(&self) -> String {
+        let workers: Vec<String> = self
+            .per_worker
+            .iter()
+            .enumerate()
+            .map(|(i, w)| format!("    {}", worker_json(i, w)))
+            .collect();
+        format!(
+            "{{\n  \"schema\": {},\n  \"strategy\": {},\n  \"workers\": {},\n  \
+             \"elapsed_ns\": {},\n  \"produced\": {},\n  \"consumed\": {},\n  \
+             \"per_worker\": [\n{}\n  ]\n}}\n",
+            REPORT_SCHEMA,
+            json_string(&self.strategy),
+            self.workers,
+            self.elapsed_ns,
+            self.produced,
+            self.consumed,
+            workers.join(",\n")
+        )
+    }
+}
+
+fn worker_json(i: usize, w: &MetricsSnapshot) -> String {
+    let samples: Vec<String> = w
+        .dws_samples
+        .iter()
+        .map(|s| {
+            format!(
+                r#"{{"iteration":{},"omega":{},"tau_ns":{},"delta_len":{}}}"#,
+                s.iteration, s.omega, s.tau_ns, s.delta_len
+            )
+        })
+        .collect();
+    format!(
+        r#"{{"worker":{},"iterations":{},"tuples_processed":{},"tuples_sent":{},"batches_out":{},"batches_in":{},"tuples_in":{},"local_new":{},"backpressure_retries":{},"idle_ns":{},"omega_wait_ns":{},"gather_ns":{},"iterate_ns":{},"distribute_ns":{},"cache_hits":{},"cache_misses":{},"samples_dropped":{},"dws_samples":[{}]}}"#,
+        i,
+        w.iterations,
+        w.tuples_processed,
+        w.tuples_sent,
+        w.batches_out,
+        w.batches_in,
+        w.tuples_in,
+        w.local_new,
+        w.backpressure_retries,
+        w.idle_ns,
+        w.omega_wait_ns,
+        w.gather_ns,
+        w.iterate_ns,
+        w.distribute_ns,
+        w.cache_hits,
+        w.cache_misses,
+        w.samples_dropped,
+        samples.join(",")
+    )
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcd_runtime::DwsSample;
+
+    fn sample_report() -> EvalReport {
+        let mut a = MetricsSnapshot {
+            iterations: 3,
+            tuples_sent: 10,
+            tuples_in: 4,
+            iterate_ns: 300,
+            idle_ns: 100,
+            gather_ns: 50,
+            distribute_ns: 50,
+            ..MetricsSnapshot::default()
+        };
+        a.dws_samples.push(DwsSample {
+            iteration: 2,
+            omega: 8,
+            tau_ns: 1000,
+            delta_len: 5,
+        });
+        let b = MetricsSnapshot {
+            iterations: 1,
+            tuples_sent: 4,
+            tuples_in: 10,
+            iterate_ns: 100,
+            omega_wait_ns: 200,
+            ..MetricsSnapshot::default()
+        };
+        EvalReport {
+            strategy: "DWS".into(),
+            workers: 2,
+            elapsed_ns: 1_000,
+            produced: 14,
+            consumed: 14,
+            per_worker: vec![a, b],
+        }
+    }
+
+    #[test]
+    fn reconciliation_checks_all_four_identities() {
+        let mut r = sample_report();
+        assert!(r.reconciles());
+        r.produced += 1;
+        assert!(!r.reconciles(), "produced != consumed");
+        r.produced -= 1;
+        r.per_worker[0].tuples_sent += 1;
+        assert!(!r.reconciles(), "sent total drifted");
+    }
+
+    #[test]
+    fn imbalance_and_idle_fraction() {
+        let r = sample_report();
+        // iterate times 300 and 100 → mean 200, max 300 → 1.5.
+        assert!((r.imbalance() - 1.5).abs() < 1e-12);
+        // busy = 300+50+50+100 = 500, idle = 100+200 = 300.
+        assert!((r.idle_fraction() - 300.0 / 800.0).abs() < 1e-12);
+        assert_eq!(EvalReport::default().imbalance(), 1.0);
+        assert_eq!(EvalReport::default().idle_fraction(), 0.0);
+    }
+
+    #[test]
+    fn json_is_wellformed_and_complete() {
+        let r = sample_report();
+        let json = r.to_json();
+        assert!(json.contains("\"schema\": 1"));
+        assert!(json.contains("\"strategy\": \"DWS\""));
+        assert!(json.contains("\"worker\":0"));
+        assert!(json.contains("\"worker\":1"));
+        assert!(json
+            .contains(r#""dws_samples":[{"iteration":2,"omega":8,"tau_ns":1000,"delta_len":5}]"#));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escapes_strategy_name() {
+        let r = EvalReport {
+            strategy: "we\"ird".into(),
+            ..EvalReport::default()
+        };
+        assert!(r.to_json().contains(r#""strategy": "we\"ird""#));
+    }
+}

@@ -242,6 +242,21 @@ impl RecStore {
             _ => Vec::new(),
         }
     }
+
+    /// Existence-cache `(hits, misses)` for this relation, summed over the
+    /// tuple and aggregate caches (both zero when optimizations are off).
+    pub fn cache_stats(&self) -> (u64, u64) {
+        let (mut h, mut m) = (0, 0);
+        if let Some(c) = &self.tuple_cache {
+            h += c.hits();
+            m += c.misses();
+        }
+        if let Some(c) = &self.agg_cache {
+            h += c.hits();
+            m += c.misses();
+        }
+        (h, m)
+    }
 }
 
 fn to_storage_func(f: AggFunc) -> StAggFunc {
@@ -319,6 +334,15 @@ impl WorkerStore {
     /// Mutable derived store `rel`.
     pub fn rec_mut(&mut self, rel: RelId) -> &mut RecStore {
         self.idb[rel].as_mut().expect("IDB relation present")
+    }
+
+    /// Existence-cache `(hits, misses)` totals over every derived store.
+    pub fn cache_totals(&self) -> (u64, u64) {
+        self.idb
+            .iter()
+            .flatten()
+            .map(RecStore::cache_stats)
+            .fold((0, 0), |(h, m), (sh, sm)| (h + sh, m + sm))
     }
 }
 

@@ -21,8 +21,8 @@ use dcd_common::hash::FastMap;
 use dcd_common::{DcdError, Partitioner, Result, Tuple, WorkerId};
 use dcd_frontend::physical::{PhysicalPlan, RelId};
 use dcd_runtime::{
-    Batch, BufferMatrix, DwsController, IdleOutcome, RoundBarrier, SspClock, Strategy, Termination,
-    WorkerEndpoints,
+    Batch, BufferMatrix, DwsController, DwsSample, IdleOutcome, MetricsRecorder, RoundBarrier,
+    SspClock, Strategy, Termination, WorkerEndpoints,
 };
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
@@ -50,6 +50,8 @@ pub struct Coordination {
     pub part: Partitioner,
     /// Per-stratum coordination.
     pub strata: Vec<StratumCoord>,
+    /// Per-worker observability (indexed by worker id).
+    pub metrics: Vec<MetricsRecorder>,
     /// Error/timeout flag.
     pub abort: AtomicBool,
     /// Wall-clock deadline.
@@ -79,9 +81,21 @@ impl Coordination {
             buffers: BufferMatrix::new(n, cfg.queue_capacity),
             part: Partitioner::new(n),
             strata,
+            metrics: (0..n).map(|_| MetricsRecorder::default()).collect(),
             abort: AtomicBool::new(false),
             deadline: cfg.timeout.map(|t| Instant::now() + t),
         }
+    }
+
+    /// Sum of `(produced, consumed)` termination counters over all strata.
+    /// After a completed evaluation the two totals are equal (that is the
+    /// fixpoint condition); the observability layer reconciles the
+    /// per-worker recorders against them.
+    pub fn termination_totals(&self) -> (u64, u64) {
+        self.strata
+            .iter()
+            .map(|s| s.termination.counters())
+            .fold((0, 0), |(p, c), (sp, sc)| (p + sp, c + sc))
     }
 
     /// Flags an abort and releases everything blocked.
@@ -211,7 +225,7 @@ pub struct Worker<'a> {
     endpoints: WorkerEndpoints<'a>,
     me: WorkerId,
     evaluator: Evaluator<'a>,
-    stats: WorkerStats,
+    metrics: &'a MetricsRecorder,
 }
 
 impl<'a> Worker<'a> {
@@ -233,7 +247,7 @@ impl<'a> Worker<'a> {
                 me,
                 workers: cfg.workers,
             },
-            stats: WorkerStats::default(),
+            metrics: &coord.metrics[me],
         }
     }
 
@@ -243,7 +257,18 @@ impl<'a> Worker<'a> {
         for si in 0..self.plan.strata.len() {
             self.run_stratum(si, &mut store)?;
         }
-        Ok((store, self.stats))
+        // Fold the storage layer's cache counters into the recorder so the
+        // engine-level snapshot carries them.
+        let (hits, misses) = store.cache_totals();
+        self.metrics.record_cache(hits, misses);
+        let snap = self.metrics.snapshot();
+        let stats = WorkerStats {
+            iterations: snap.iterations,
+            processed: snap.tuples_processed,
+            sent: snap.tuples_sent,
+            batches_in: snap.batches_in,
+        };
+        Ok((store, stats))
     }
 
     fn run_stratum(&mut self, si: usize, store: &mut WorkerStore) -> Result<()> {
@@ -273,7 +298,7 @@ impl<'a> Worker<'a> {
         }
         let outs = acc.into_rows();
         let mut delta = DeltaSet::new();
-        self.distribute(si, store, outs, &mut delta)?;
+        self.distribute(si, store, outs, &mut delta, &mut None)?;
         sc.post_init.wait();
 
         // ---- Fixpoint phase ----
@@ -299,12 +324,17 @@ impl<'a> Worker<'a> {
         // is already in `delta`/queues; the first round drains and counts.
         loop {
             self.coord.check_deadline()?;
+            let tg = Instant::now();
             self.drain(si, store, &mut delta, None);
+            self.metrics.add_gather(tg.elapsed());
             let outs = self.iterate(si, store, &mut delta);
-            let before_sent = self.stats.sent;
-            let local_new = self.distribute(si, store, outs, &mut delta)?;
-            let produced = (self.stats.sent - before_sent) + local_new;
-            if !self.coord.strata[si].round.arrive(produced) {
+            let (local_new, remote_sent) =
+                self.distribute(si, store, outs, &mut delta, &mut None)?;
+            let produced = remote_sent + local_new;
+            let tb = Instant::now();
+            let cont = self.coord.strata[si].round.arrive(produced);
+            self.metrics.add_idle(tb.elapsed());
+            if !cont {
                 if self.coord.abort.load(Ordering::SeqCst) {
                     return Err(DcdError::Execution("evaluation aborted".into()));
                 }
@@ -325,14 +355,19 @@ impl<'a> Worker<'a> {
         let is_ssp = matches!(self.cfg.strategy, Strategy::Ssp { .. });
         loop {
             self.coord.check_deadline()?;
+            let tg = Instant::now();
             self.drain(si, store, &mut delta, dws.as_mut());
+            self.metrics.add_gather(tg.elapsed());
 
             if delta.is_empty() {
                 // Local fixpoint: park until new work or global fixpoint.
                 if is_ssp {
                     sc.ssp.finish(self.me);
                 }
-                match sc.termination.idle_wait(|| self.endpoints.has_inbound()) {
+                let ti = Instant::now();
+                let outcome = sc.termination.idle_wait(|| self.endpoints.has_inbound());
+                self.metrics.add_idle(ti.elapsed());
+                match outcome {
                     IdleOutcome::Done => {
                         if self.coord.abort.load(Ordering::SeqCst) {
                             return Err(DcdError::Execution("evaluation aborted".into()));
@@ -353,19 +388,31 @@ impl<'a> Worker<'a> {
             if let Some(ctrl) = dws.as_mut() {
                 let omega = ctrl.omega();
                 if delta.len() < omega {
-                    let deadline = Instant::now() + ctrl.tau();
+                    let tw = Instant::now();
+                    let deadline = tw + ctrl.tau();
                     while delta.len() < omega
                         && Instant::now() < deadline
                         && !sc.termination.is_done()
                     {
                         if self.endpoints.has_inbound() {
-                            self.drain_into(si, store, &mut delta, &mut None);
+                            // The controller must see these batches too:
+                            // dropping them here systematically
+                            // underestimated λ (arrival-stat loss).
+                            let mut ctrl_opt = Some(&mut *ctrl);
+                            self.drain_into(si, store, &mut delta, &mut ctrl_opt);
                         } else {
                             std::thread::sleep(Duration::from_micros(5));
                         }
                     }
+                    self.metrics.add_omega_wait(tw.elapsed());
                 }
                 ctrl.update_params();
+                self.metrics.push_sample(DwsSample {
+                    iteration: self.metrics.iterations(),
+                    omega: ctrl.omega() as u64,
+                    tau_ns: ctrl.tau().as_nanos() as u64,
+                    delta_len: delta.len() as u64,
+                });
             }
 
             // SSP: stay within `s` iterations of the frontier.
@@ -377,7 +424,7 @@ impl<'a> Worker<'a> {
             let t0 = Instant::now();
             let processed = delta.len();
             let outs = self.iterate(si, store, &mut delta);
-            self.distribute(si, store, outs, &mut delta)?;
+            self.distribute(si, store, outs, &mut delta, &mut dws.as_mut())?;
             if let Some(ctrl) = dws.as_mut() {
                 ctrl.on_iteration(processed, t0.elapsed());
             }
@@ -423,10 +470,10 @@ impl<'a> Worker<'a> {
         store: &WorkerStore,
         delta: &mut DeltaSet,
     ) -> Vec<(RelId, Tuple)> {
+        let t0 = Instant::now();
         let stratum = &self.plan.strata[si];
         let rows = self.coalesce(delta.take());
-        self.stats.processed += rows.len() as u64;
-        self.stats.iterations += 1;
+        self.metrics.note_iteration(rows.len() as u64);
         let mut acc = PartialAgg::default();
         let mut buf = Vec::new();
         for (rel, route, row) in &rows {
@@ -442,22 +489,29 @@ impl<'a> Worker<'a> {
                 }
             }
         }
-        acc.into_rows()
+        let outs = acc.into_rows();
+        self.metrics.add_iterate(t0.elapsed());
+        outs
     }
 
     /// Routes derived tuples (Distribute): local merges feed the next
     /// delta immediately, remote rows are batched into the SPSC buffers.
-    /// Returns the number of *new* local merges.
+    /// Returns `(new local merges, tuples sent to peers)`. The DWS
+    /// controller (when present) must observe any batches consumed during
+    /// backpressure retries, or λ is underestimated.
     fn distribute(
         &mut self,
         si: usize,
         store: &mut WorkerStore,
         outs: Vec<(RelId, Tuple)>,
         delta: &mut DeltaSet,
-    ) -> Result<u64> {
+        dws: &mut Option<&mut DwsController>,
+    ) -> Result<(u64, u64)> {
+        let t0 = Instant::now();
         let n = self.cfg.workers;
         let termination = &self.coord.strata[si].termination;
         let mut local_new = 0u64;
+        let mut remote_sent = 0u64;
         // Staging area: (dest, rel) → rows.
         let mut staged: FastMap<(WorkerId, RelId), Vec<Tuple>> = FastMap::default();
         let mut dests: Vec<WorkerId> = Vec::with_capacity(2);
@@ -488,7 +542,8 @@ impl<'a> Worker<'a> {
         for ((dest, rel), tuples) in staged {
             for chunk in tuples.chunks(self.cfg.batch_size) {
                 termination.note_produced(chunk.len() as u64);
-                self.stats.sent += chunk.len() as u64;
+                remote_sent += chunk.len() as u64;
+                self.metrics.note_batch_out(chunk.len() as u64);
                 let mut batch = Batch {
                     rel: rel as u32,
                     route: 0, // receivers re-derive applicable routes
@@ -504,14 +559,17 @@ impl<'a> Worker<'a> {
                             if self.coord.abort.load(Ordering::SeqCst) {
                                 return Err(DcdError::Execution("evaluation aborted".into()));
                             }
-                            self.drain_into(si, store, delta, &mut None);
+                            self.metrics.note_backpressure_retry();
+                            self.drain_into(si, store, delta, dws);
                             std::thread::yield_now();
                         }
                     }
                 }
             }
         }
-        Ok(local_new)
+        self.metrics.note_local_new(local_new);
+        self.metrics.add_distribute(t0.elapsed());
+        Ok((local_new, remote_sent))
     }
 
     /// Merges one merge-layout row into the local store; on success, adds
@@ -563,19 +621,21 @@ impl<'a> Worker<'a> {
         dws: &mut Option<&mut DwsController>,
     ) {
         let termination = &self.coord.strata[si].termination;
+        let mut new = 0u64;
         for j in 0..self.cfg.workers {
             while let Some(batch) = self.endpoints.from_peer[j].pop() {
-                self.stats.batches_in += 1;
+                let k = batch.tuples.len() as u64;
+                self.metrics.note_batch_in(k);
                 if let Some(ctrl) = dws.as_deref_mut() {
                     ctrl.on_batch(batch.from, batch.tuples.len(), batch.sent_at);
                 }
-                let k = batch.tuples.len() as u64;
                 for row in &batch.tuples {
-                    self.merge_local(store, batch.rel as usize, row, delta);
+                    new += self.merge_local(store, batch.rel as usize, row, delta);
                 }
                 termination.note_consumed(k);
             }
         }
+        self.metrics.note_local_new(new);
     }
 }
 

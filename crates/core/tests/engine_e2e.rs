@@ -394,6 +394,53 @@ fn wildcards_in_recursive_rules() {
 }
 
 #[test]
+fn report_reconciles_with_termination_counters() {
+    // The tentpole invariant of the observability layer: the per-worker
+    // recorders and the termination protocol describe the same exchange.
+    let edges: Vec<(i64, i64)> = (0..200).map(|i| (i % 50, (i * 3 + 1) % 50)).collect();
+    for cfg in configs() {
+        let name = format!("{} x{}", cfg.strategy.name(), cfg.workers);
+        let mut e = Engine::new(queries::tc().unwrap(), cfg).unwrap();
+        e.load_edges("arc", &edges).unwrap();
+        let r = e.run().unwrap();
+        let rep = &r.stats.report;
+        assert_eq!(rep.per_worker.len(), r.stats.workers.len(), "{name}");
+        assert!(
+            rep.reconciles(),
+            "{name}: produced {} consumed {} sent {} received {}",
+            rep.produced,
+            rep.consumed,
+            rep.total(|w| w.tuples_sent),
+            rep.total(|w| w.tuples_in),
+        );
+        // The legacy WorkerStats are derived from the same recorders.
+        for (snap, legacy) in rep.per_worker.iter().zip(&r.stats.workers) {
+            assert_eq!(snap.iterations, legacy.iterations, "{name}");
+            assert_eq!(snap.tuples_processed, legacy.processed, "{name}");
+            assert_eq!(snap.tuples_sent, legacy.sent, "{name}");
+            assert_eq!(snap.batches_in, legacy.batches_in, "{name}");
+        }
+        assert!(rep.total(|w| w.iterations) > 0, "{name}");
+    }
+}
+
+#[test]
+fn dws_report_carries_omega_tau_samples() {
+    let edges: Vec<(i64, i64)> = (0..300).map(|i| (i % 60, (i * 7 + 1) % 60)).collect();
+    let cfg = EngineConfig::with_workers(4).strategy(Strategy::Dws);
+    let mut e = Engine::new(queries::tc().unwrap(), cfg).unwrap();
+    e.load_edges("arc", &edges).unwrap();
+    let r = e.run().unwrap();
+    let rep = &r.stats.report;
+    assert_eq!(rep.strategy, "DWS");
+    let samples: u64 = rep.total(|w| w.dws_samples.len() as u64 + w.samples_dropped);
+    assert!(samples > 0, "DWS must record ω/τ samples");
+    let json = rep.to_json();
+    assert!(json.contains("\"schema\": 1"));
+    assert!(json.contains("\"dws_samples\""));
+}
+
+#[test]
 fn queue_backpressure_with_tiny_capacity() {
     // A 2-slot SPSC queue forces constant backpressure; the drain-while-
     // retrying path must keep the run deadlock-free and correct.

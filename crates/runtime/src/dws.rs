@@ -27,6 +27,11 @@ pub struct DwsConfig {
     /// Cap on `ω_i` so a near-saturated queue (ρ → 1) cannot demand an
     /// unbounded batch.
     pub max_omega: usize,
+    /// Minimum EWMA samples before an arrival track or the service
+    /// estimator is trusted. A single sample carries variance 0, which
+    /// lets Kingman's formula compute ρ and L_q from one observation —
+    /// wildly unstable at the start of a stratum.
+    pub min_samples: u64,
 }
 
 impl Default for DwsConfig {
@@ -35,6 +40,7 @@ impl Default for DwsConfig {
             ewma_alpha: 0.25,
             max_wait: Duration::from_millis(2),
             max_omega: 1 << 16,
+            min_samples: 8,
         }
     }
 }
@@ -114,8 +120,9 @@ impl DwsController {
         let mut weight_sum = 0.0;
         let mut inv_rate_weighted = 0.0;
         let mut var_weighted = 0.0;
+        let min_samples = self.cfg.min_samples;
         for t in &mut self.arrivals {
-            if t.recent == 0 || !t.inter.is_primed() || t.inter.mean() <= 0.0 {
+            if t.recent == 0 || t.inter.count() < min_samples || t.inter.mean() <= 0.0 {
                 t.recent = 0;
                 continue;
             }
@@ -127,7 +134,7 @@ impl DwsController {
             // Exponential decay of window counts between updates.
             t.recent /= 2;
         }
-        if weight_sum == 0.0 || !self.service.is_primed() || self.service.mean() <= 0.0 {
+        if weight_sum == 0.0 || self.service.count() < min_samples || self.service.mean() <= 0.0 {
             self.omega = 0;
             self.tau = Duration::ZERO;
             return;
@@ -194,7 +201,9 @@ mod tests {
         for i in 1..20 {
             c.on_batch(0, 1, base + Duration::from_micros(i));
         }
-        c.on_iteration(10, Duration::from_millis(10));
+        for _ in 0..10 {
+            c.on_iteration(10, Duration::from_millis(10));
+        }
         c.update_params();
         assert_eq!(c.omega(), 0, "ρ ≥ 1 must disable waiting");
     }
@@ -259,6 +268,40 @@ mod tests {
         }
         c.update_params();
         assert!(c.tau() <= Duration::from_micros(50));
+    }
+
+    #[test]
+    fn single_sample_does_not_prime_the_estimator() {
+        // Regression: `Ewma::is_primed()` is true after one sample with
+        // variance 0, which used to let Kingman's formula compute ρ and
+        // L_q from a single observation. The controller must not trust
+        // λ/μ until `min_samples` observations exist on both sides.
+        let cfg = DwsConfig {
+            min_samples: 8,
+            ..DwsConfig::default()
+        };
+        let mut c = DwsController::new(1, cfg);
+        let base = t0();
+        // Two batches ⇒ one inter-arrival sample; one service sample.
+        c.on_batch(0, 1, base + Duration::from_micros(100));
+        c.on_batch(0, 1, base + Duration::from_micros(2000));
+        c.on_iteration(1, Duration::from_micros(1800));
+        c.update_params();
+        assert_eq!(c.omega(), 0, "one sample per estimator must not prime");
+        assert_eq!(c.tau(), Duration::ZERO);
+
+        // Once both estimators cross min_samples with a stable-but-bursty
+        // pattern, the controller may produce parameters again.
+        let mut ts = base + Duration::from_micros(2000);
+        for i in 0..200 {
+            ts += Duration::from_micros(if i % 2 == 0 { 100 } else { 1900 });
+            c.on_batch(0, 1, ts);
+            if i % 5 == 0 {
+                c.on_iteration(5, Duration::from_micros(4500));
+            }
+        }
+        c.update_params();
+        assert!(c.omega() >= 1, "primed controller should wait again");
     }
 
     #[test]

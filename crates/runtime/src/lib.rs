@@ -15,6 +15,9 @@
 //! * [`dws`] — the Dynamic Weight-based Strategy controller: G/G/1
 //!   arrival/service tracking, Equation (1) aggregation and Kingman's
 //!   formula (Equation 2) for `ω_i`/`τ_i`.
+//! * [`metrics`] — the per-worker observability layer: relaxed-atomic
+//!   counters for the Gather/Iterate/Distribute loop and a fixed-capacity
+//!   ring of ω/τ samples.
 //! * [`strategy`] — strategy selection shared by the engine and benches.
 //! * [`simulator`] — a deterministic discrete-event replay of the three
 //!   coordination schedules (reproduces Figure 3 in abstract time units).
@@ -22,6 +25,7 @@
 pub mod barrier;
 pub mod buffers;
 pub mod dws;
+pub mod metrics;
 pub mod mpsc;
 pub mod simulator;
 pub mod spsc;
@@ -32,6 +36,7 @@ pub mod termination;
 pub use barrier::RoundBarrier;
 pub use buffers::{Batch, BufferMatrix, WorkerEndpoints};
 pub use dws::{DwsConfig, DwsController};
+pub use metrics::{DwsSample, MetricsRecorder, MetricsSnapshot};
 pub use mpsc::MpscQueue;
 pub use spsc::SpscQueue;
 pub use ssp::SspClock;

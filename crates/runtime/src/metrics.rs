@@ -1,0 +1,382 @@
+//! Per-worker observability: low-overhead counters plus a fixed-capacity
+//! ring of DWS parameter samples.
+//!
+//! The DWS controller (§4.2) is a feedback loop driven by per-worker
+//! arrival/service statistics; diagnosing it — and parallel imbalance in
+//! general — needs the per-worker load/idle breakdown to be visible. One
+//! [`MetricsRecorder`] exists per worker; the worker thread is the only
+//! writer, other threads (the engine, a future live exporter) read via
+//! [`MetricsRecorder::snapshot`]. All counters are relaxed atomics: a
+//! counter bump is one uncontended add on a cache line owned by the
+//! recording worker, so the overhead budget stays well under the 2%
+//! envelope documented in DESIGN.md §6.
+//!
+//! The ω/τ trajectory of the DWS controller is captured in a
+//! [`SampleRing`]: a fixed-capacity ring that keeps the *last* `cap`
+//! samples (the tail of the trajectory is what matters near the fixpoint)
+//! and counts how many older ones were overwritten.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One observation of the DWS controller state, taken after
+/// `update_params` (Algorithm 2, line 12).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DwsSample {
+    /// Local iteration index at which the sample was taken.
+    pub iteration: u64,
+    /// The batch-size threshold `ω_i` chosen by Kingman's formula.
+    pub omega: u64,
+    /// The wait budget `τ_i`, in nanoseconds.
+    pub tau_ns: u64,
+    /// Pending delta size when the worker proceeded to iterate.
+    pub delta_len: u64,
+}
+
+/// Fixed-capacity ring of [`DwsSample`]s: keeps the newest `cap` samples.
+struct SampleRing {
+    buf: Vec<DwsSample>,
+    /// Total samples ever pushed (so `pushed - buf.len()` were dropped).
+    pushed: u64,
+    /// Next slot to overwrite once the ring is full.
+    next: usize,
+    cap: usize,
+}
+
+impl SampleRing {
+    fn new(cap: usize) -> Self {
+        SampleRing {
+            buf: Vec::with_capacity(cap.min(1024)),
+            pushed: 0,
+            next: 0,
+            cap: cap.max(1),
+        }
+    }
+
+    fn push(&mut self, s: DwsSample) {
+        self.pushed += 1;
+        if self.buf.len() < self.cap {
+            self.buf.push(s);
+        } else {
+            self.buf[self.next] = s;
+            self.next = (self.next + 1) % self.cap;
+        }
+    }
+
+    /// Samples in chronological order.
+    fn chronological(&self) -> Vec<DwsSample> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.next..]);
+        out.extend_from_slice(&self.buf[..self.next]);
+        out
+    }
+}
+
+/// Default capacity of the ω/τ sample ring.
+pub const DEFAULT_SAMPLE_CAP: usize = 256;
+
+/// Per-worker metrics: counters for the Gather/Iterate/Distribute loop,
+/// wall-clock time splits, cache effectiveness, and the DWS ω/τ
+/// trajectory.
+pub struct MetricsRecorder {
+    iterations: AtomicU64,
+    tuples_processed: AtomicU64,
+    tuples_sent: AtomicU64,
+    batches_out: AtomicU64,
+    batches_in: AtomicU64,
+    tuples_in: AtomicU64,
+    local_new: AtomicU64,
+    backpressure_retries: AtomicU64,
+    idle_ns: AtomicU64,
+    omega_wait_ns: AtomicU64,
+    gather_ns: AtomicU64,
+    iterate_ns: AtomicU64,
+    distribute_ns: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    ring: Mutex<SampleRing>,
+}
+
+/// A coherent copy of one worker's metrics (taken after the worker
+/// finished, or best-effort mid-run).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Local semi-naive iterations executed.
+    pub iterations: u64,
+    /// Delta tuples fed into the Iterate operator.
+    pub tuples_processed: u64,
+    /// Tuples sent to other workers (each counted once per destination).
+    pub tuples_sent: u64,
+    /// Outgoing batches flushed into SPSC queues.
+    pub batches_out: u64,
+    /// Incoming batches drained.
+    pub batches_in: u64,
+    /// Tuples received in those batches.
+    pub tuples_in: u64,
+    /// Local merges that produced a new/improved logical row.
+    pub local_new: u64,
+    /// Full-queue retry loops taken while flushing outgoing batches.
+    pub backpressure_retries: u64,
+    /// Nanoseconds parked in the idle/termination protocol.
+    pub idle_ns: u64,
+    /// Nanoseconds spent inside the DWS ω-wait window (Alg. 2 l. 5–8).
+    pub omega_wait_ns: u64,
+    /// Nanoseconds draining inbound queues (Gather).
+    pub gather_ns: u64,
+    /// Nanoseconds evaluating delta rules (Iterate).
+    pub iterate_ns: u64,
+    /// Nanoseconds routing/merging derived tuples (Distribute).
+    pub distribute_ns: u64,
+    /// Existence-cache hits across this worker's relation stores.
+    pub cache_hits: u64,
+    /// Existence-cache misses across this worker's relation stores.
+    pub cache_misses: u64,
+    /// The newest ω/τ samples, chronological.
+    pub dws_samples: Vec<DwsSample>,
+    /// Older samples overwritten by the ring.
+    pub samples_dropped: u64,
+}
+
+impl MetricsSnapshot {
+    /// Existence-cache hit rate in `[0, 1]` (0 when the caches were idle).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+impl Default for MetricsRecorder {
+    fn default() -> Self {
+        MetricsRecorder::new(DEFAULT_SAMPLE_CAP)
+    }
+}
+
+impl MetricsRecorder {
+    /// Creates a recorder whose sample ring keeps `sample_cap` entries.
+    pub fn new(sample_cap: usize) -> Self {
+        MetricsRecorder {
+            iterations: AtomicU64::new(0),
+            tuples_processed: AtomicU64::new(0),
+            tuples_sent: AtomicU64::new(0),
+            batches_out: AtomicU64::new(0),
+            batches_in: AtomicU64::new(0),
+            tuples_in: AtomicU64::new(0),
+            local_new: AtomicU64::new(0),
+            backpressure_retries: AtomicU64::new(0),
+            idle_ns: AtomicU64::new(0),
+            omega_wait_ns: AtomicU64::new(0),
+            gather_ns: AtomicU64::new(0),
+            iterate_ns: AtomicU64::new(0),
+            distribute_ns: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            ring: Mutex::new(SampleRing::new(sample_cap)),
+        }
+    }
+
+    /// Records one local iteration that processed `tuples` delta tuples.
+    #[inline]
+    pub fn note_iteration(&self, tuples: u64) {
+        self.iterations.fetch_add(1, Ordering::Relaxed);
+        self.tuples_processed.fetch_add(tuples, Ordering::Relaxed);
+    }
+
+    /// Iterations recorded so far (cheap — used to stamp ω/τ samples).
+    #[inline]
+    pub fn iterations(&self) -> u64 {
+        self.iterations.load(Ordering::Relaxed)
+    }
+
+    /// Records one outgoing batch of `tuples` tuples.
+    #[inline]
+    pub fn note_batch_out(&self, tuples: u64) {
+        self.batches_out.fetch_add(1, Ordering::Relaxed);
+        self.tuples_sent.fetch_add(tuples, Ordering::Relaxed);
+    }
+
+    /// Records one drained inbound batch of `tuples` tuples.
+    #[inline]
+    pub fn note_batch_in(&self, tuples: u64) {
+        self.batches_in.fetch_add(1, Ordering::Relaxed);
+        self.tuples_in.fetch_add(tuples, Ordering::Relaxed);
+    }
+
+    /// Records `k` new/improved local merges.
+    #[inline]
+    pub fn note_local_new(&self, k: u64) {
+        self.local_new.fetch_add(k, Ordering::Relaxed);
+    }
+
+    /// Records one full-queue retry while flushing an outgoing batch.
+    #[inline]
+    pub fn note_backpressure_retry(&self) {
+        self.backpressure_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds time parked in the idle/termination protocol.
+    #[inline]
+    pub fn add_idle(&self, d: Duration) {
+        self.idle_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Adds time spent inside the DWS ω-wait window.
+    #[inline]
+    pub fn add_omega_wait(&self, d: Duration) {
+        self.omega_wait_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Adds time draining inbound queues.
+    #[inline]
+    pub fn add_gather(&self, d: Duration) {
+        self.gather_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Adds time evaluating delta rules.
+    #[inline]
+    pub fn add_iterate(&self, d: Duration) {
+        self.iterate_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Adds time routing/merging derived tuples.
+    #[inline]
+    pub fn add_distribute(&self, d: Duration) {
+        self.distribute_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Folds in cache hit/miss totals (called once per worker, at the end
+    /// of the run, from the storage layer's counters).
+    pub fn record_cache(&self, hits: u64, misses: u64) {
+        self.cache_hits.fetch_add(hits, Ordering::Relaxed);
+        self.cache_misses.fetch_add(misses, Ordering::Relaxed);
+    }
+
+    /// Appends one ω/τ observation to the sample ring.
+    pub fn push_sample(&self, sample: DwsSample) {
+        self.ring.lock().unwrap().push(sample);
+    }
+
+    /// Takes a coherent copy of every counter plus the sample ring.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let ring = self.ring.lock().unwrap();
+        MetricsSnapshot {
+            iterations: self.iterations.load(Ordering::Relaxed),
+            tuples_processed: self.tuples_processed.load(Ordering::Relaxed),
+            tuples_sent: self.tuples_sent.load(Ordering::Relaxed),
+            batches_out: self.batches_out.load(Ordering::Relaxed),
+            batches_in: self.batches_in.load(Ordering::Relaxed),
+            tuples_in: self.tuples_in.load(Ordering::Relaxed),
+            local_new: self.local_new.load(Ordering::Relaxed),
+            backpressure_retries: self.backpressure_retries.load(Ordering::Relaxed),
+            idle_ns: self.idle_ns.load(Ordering::Relaxed),
+            omega_wait_ns: self.omega_wait_ns.load(Ordering::Relaxed),
+            gather_ns: self.gather_ns.load(Ordering::Relaxed),
+            iterate_ns: self.iterate_ns.load(Ordering::Relaxed),
+            distribute_ns: self.distribute_ns.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            dws_samples: ring.chronological(),
+            samples_dropped: ring.pushed - ring.buf.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = MetricsRecorder::default();
+        m.note_iteration(10);
+        m.note_iteration(5);
+        m.note_batch_out(100);
+        m.note_batch_in(40);
+        m.note_batch_in(2);
+        m.note_local_new(7);
+        m.note_backpressure_retry();
+        m.add_idle(Duration::from_nanos(500));
+        m.add_omega_wait(Duration::from_nanos(20));
+        m.add_gather(Duration::from_nanos(30));
+        m.add_iterate(Duration::from_nanos(40));
+        m.add_distribute(Duration::from_nanos(50));
+        m.record_cache(9, 1);
+        let s = m.snapshot();
+        assert_eq!(s.iterations, 2);
+        assert_eq!(s.tuples_processed, 15);
+        assert_eq!((s.batches_out, s.tuples_sent), (1, 100));
+        assert_eq!((s.batches_in, s.tuples_in), (2, 42));
+        assert_eq!(s.local_new, 7);
+        assert_eq!(s.backpressure_retries, 1);
+        assert_eq!(s.idle_ns, 500);
+        assert_eq!(s.omega_wait_ns, 20);
+        assert_eq!(s.gather_ns, 30);
+        assert_eq!(s.iterate_ns, 40);
+        assert_eq!(s.distribute_ns, 50);
+        assert_eq!((s.cache_hits, s.cache_misses), (9, 1));
+        assert!((s.cache_hit_rate() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let s = MetricsRecorder::default().snapshot();
+        assert_eq!(s, MetricsSnapshot::default());
+        assert_eq!(s.cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn sample_ring_keeps_newest_in_order() {
+        let m = MetricsRecorder::new(4);
+        for i in 0..10u64 {
+            m.push_sample(DwsSample {
+                iteration: i,
+                omega: i * 2,
+                tau_ns: i * 3,
+                delta_len: i,
+            });
+        }
+        let s = m.snapshot();
+        assert_eq!(s.samples_dropped, 6);
+        let iters: Vec<u64> = s.dws_samples.iter().map(|x| x.iteration).collect();
+        assert_eq!(iters, vec![6, 7, 8, 9], "newest four, chronological");
+    }
+
+    #[test]
+    fn sample_ring_below_capacity_keeps_all() {
+        let m = MetricsRecorder::new(8);
+        for i in 0..3u64 {
+            m.push_sample(DwsSample {
+                iteration: i,
+                ..DwsSample::default()
+            });
+        }
+        let s = m.snapshot();
+        assert_eq!(s.samples_dropped, 0);
+        assert_eq!(s.dws_samples.len(), 3);
+        assert_eq!(s.dws_samples[2].iteration, 2);
+    }
+
+    #[test]
+    fn recorder_is_shareable_across_threads() {
+        let m = MetricsRecorder::default();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        m.note_iteration(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.snapshot().iterations, 4000);
+    }
+}

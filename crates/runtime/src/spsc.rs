@@ -61,10 +61,20 @@ impl<T> SpscQueue<T> {
     }
 
     /// Number of elements currently queued (approximate under concurrency).
+    ///
+    /// `head` is loaded *before* `tail`: both counters only advance and
+    /// `tail >= head` always holds, so the later `tail` load can never
+    /// land behind the earlier `head` load. The reverse order (tail first)
+    /// let a concurrent pop slip in between and drive `head` past the
+    /// stale `tail`, wrapping `t - h` to ~2^64 — which made
+    /// `is_empty()`/`has_inbound()` spuriously report work. The distance
+    /// is additionally saturated at capacity: pops after the `head` load
+    /// can free slots the producer refills before the `tail` load, so the
+    /// raw distance may overshoot by the amount consumed in between.
     pub fn len(&self) -> usize {
-        let t = self.tail.0.load(Ordering::Acquire);
         let h = self.head.0.load(Ordering::Acquire);
-        t.wrapping_sub(h)
+        let t = self.tail.0.load(Ordering::Acquire);
+        t.wrapping_sub(h).min(self.mask + 1)
     }
 
     /// Whether the queue is (approximately) empty.
@@ -252,6 +262,43 @@ mod tests {
                     }
                 }
             });
+        });
+    }
+
+    #[test]
+    fn len_never_exceeds_capacity_under_concurrency() {
+        // Regression test for the tail-before-head load order: a pop
+        // between the two loads could wrap `t - h` to ~2^64. An observer
+        // thread hammers len()/is_empty() while producer and consumer run;
+        // every observation must stay within [0, capacity].
+        const N: u64 = 100_000;
+        let q = SpscQueue::new(64);
+        let cap = q.mask + 1;
+        let stop = AtomicBool::new(false);
+        let (mut p, mut c) = q.split();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    let l = q.len();
+                    assert!(l <= cap, "len {l} exceeds capacity {cap}");
+                }
+            });
+            s.spawn(move || {
+                for i in 0..N {
+                    while p.push(i).is_err() {
+                        std::hint::spin_loop();
+                    }
+                }
+            });
+            let mut seen = 0;
+            while seen < N {
+                if c.pop().is_some() {
+                    seen += 1;
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
         });
     }
 

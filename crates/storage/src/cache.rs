@@ -63,6 +63,18 @@ impl TupleCache {
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
     }
+
+    /// Hits since construction.
+    #[inline]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses since construction.
+    #[inline]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
 }
 
 /// Cache for aggregate relations: remembers `(group key, aggregate value)`
@@ -118,6 +130,18 @@ impl AggCache {
     /// (hits, misses) since construction.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Hits since construction.
+    #[inline]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses since construction.
+    #[inline]
+    pub fn misses(&self) -> u64 {
+        self.misses
     }
 }
 
@@ -179,6 +203,25 @@ mod tests {
         c.record(&g1, Value::Int(1));
         // Whatever slot g2 maps to, an exact group comparison protects us.
         assert_eq!(c.get(&g2), None);
+    }
+
+    #[test]
+    fn hit_miss_accessors_match_stats() {
+        let mut t = TupleCache::new(16);
+        let x = Tuple::from_ints(&[3]);
+        t.check(&x);
+        t.record(&x);
+        t.check(&x);
+        assert_eq!((t.hits(), t.misses()), t.stats());
+        assert_eq!((t.hits(), t.misses()), (1, 1));
+
+        let mut a = AggCache::new(16);
+        let g = Tuple::from_ints(&[1]);
+        a.get(&g);
+        a.record(&g, Value::Int(7));
+        a.get(&g);
+        assert_eq!((a.hits(), a.misses()), a.stats());
+        assert_eq!((a.hits(), a.misses()), (1, 1));
     }
 
     #[test]

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Metrics smoke check (see DESIGN.md §6): runs TC on 4 workers under all
+# three coordination strategies with `--stats-json`, then validates the
+# emitted EvalReport without any JSON tooling beyond grep/awk:
+#
+#   1. schema version and every per-worker counter field are present,
+#   2. the report carries exactly --workers per_worker entries,
+#   3. produced == consumed (the fixpoint/reconciliation invariant).
+#
+# Run from anywhere inside the repo: scripts/check_stats_json.sh
+# Pass a prebuilt binary path as $1 to skip the cargo build.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN="${1:-}"
+if [ -z "$BIN" ]; then
+    export CARGO_NET_OFFLINE=true
+    cargo build --release -p dcd-cli >&2
+    BIN=target/release/dcdatalog
+fi
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+# A small dense-ish graph: 120 edges over 40 vertices, cycles included,
+# so every strategy does several iterations and real exchange.
+awk 'BEGIN { for (i = 0; i < 120; i++) print i % 40, (i * 7 + 1) % 40 }' \
+    > "$workdir/edges.csv"
+
+fail=0
+for strategy in global ssp:2 dws; do
+    out="$workdir/stats_${strategy%%:*}.json"
+    "$BIN" run programs/tc.dl \
+        --edb arc="$workdir/edges.csv" \
+        --workers 4 --strategy "$strategy" \
+        --limit 1 --stats-json "$out" > /dev/null
+
+    # -- Field presence --------------------------------------------------
+    for field in schema strategy workers elapsed_ns produced consumed \
+                 per_worker worker iterations tuples_processed tuples_sent \
+                 batches_out batches_in tuples_in local_new \
+                 backpressure_retries idle_ns omega_wait_ns gather_ns \
+                 iterate_ns distribute_ns cache_hits cache_misses \
+                 samples_dropped dws_samples; do
+        if ! grep -q "\"$field\"" "$out"; then
+            echo "FAIL($strategy): field \"$field\" missing from $out" >&2
+            fail=1
+        fi
+    done
+
+    # -- Per-worker cardinality ------------------------------------------
+    nworkers=$(grep -c '"worker":' "$out")
+    if [ "$nworkers" -ne 4 ]; then
+        echo "FAIL($strategy): expected 4 per_worker entries, got $nworkers" >&2
+        fail=1
+    fi
+
+    # -- Reconciliation: produced == consumed ----------------------------
+    produced=$(grep -o '"produced": [0-9]*' "$out" | awk '{print $2}')
+    consumed=$(grep -o '"consumed": [0-9]*' "$out" | awk '{print $2}')
+    if [ -z "$produced" ] || [ "$produced" != "$consumed" ]; then
+        echo "FAIL($strategy): produced ($produced) != consumed ($consumed)" >&2
+        fail=1
+    fi
+
+    # -- DWS must carry ω/τ samples; the others must not -----------------
+    samples=$(grep -c '"dws_samples":\[{' "$out" || true)
+    case "$strategy" in
+        dws)
+            if [ "$samples" -eq 0 ]; then
+                echo "FAIL(dws): no ω/τ samples recorded" >&2
+                fail=1
+            fi ;;
+    esac
+
+    echo "ok($strategy): produced=$produced consumed=$consumed workers=$nworkers"
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "stats-json check FAILED" >&2
+    exit 1
+fi
+echo "stats-json check OK: schema valid, counters reconcile"
