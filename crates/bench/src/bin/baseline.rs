@@ -39,12 +39,15 @@ fn edge_tuples(edges: &[(i64, i64)]) -> Vec<Tuple> {
 /// clock.
 fn coordination_extra(rep: &EvalReport) -> String {
     format!(
-        r#"{{"strategy":"{}","produced":{},"consumed":{},"iterations":{},"batches_in":{},"idle_ns":{},"gather_ns":{},"iterate_ns":{},"distribute_ns":{}}}"#,
+        r#"{{"strategy":"{}","produced":{},"consumed":{},"iterations":{},"batches_in":{},"exchanged_bytes":{},"edb_replicated_bytes":{},"edb_resident_bytes":{},"idle_ns":{},"gather_ns":{},"iterate_ns":{},"distribute_ns":{}}}"#,
         rep.strategy,
         rep.produced,
         rep.consumed,
         rep.total(|w| w.iterations),
         rep.total(|w| w.batches_in),
+        rep.exchanged_bytes(),
+        rep.edb_replicated_bytes,
+        rep.total(|w| w.edb_resident_bytes),
         rep.total(|w| w.idle_ns),
         rep.total(|w| w.gather_ns),
         rep.total(|w| w.iterate_ns),
@@ -59,13 +62,14 @@ fn main() {
         .unwrap_or_else(|| "BENCH_baseline.json".to_string());
     let mut h = Harness::new().with_plan(10, 3).with_json_path(Some(path));
 
-    // TC on a small RMAT graph, single- and two-worker.
+    // TC on a small RMAT graph: 1, 2 and 4 workers (the 4-worker entry
+    // anchors the exchanged_bytes trajectory of the frame-based exchange).
     let tc = queries::tc().expect("tc program");
     let arcs = vec![(
         "arc".to_string(),
         edge_tuples(&dcd_datagen::rmat(256, SEED)),
     )];
-    for workers in [1usize, 2] {
+    for workers in [1usize, 2, 4] {
         let e = engine_for(&tc, &arcs, EngineConfig::with_workers(workers));
         let warm = e.run().expect("tc runs");
         assert!(

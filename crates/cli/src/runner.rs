@@ -209,8 +209,10 @@ mod tests {
         let mut out = Vec::new();
         run_cli(&c, &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
-        assert!(text.contains("\"schema\": 1"), "{text}");
+        assert!(text.contains("\"schema\": 2"), "{text}");
         assert!(text.contains("\"per_worker\""), "{text}");
+        assert!(text.contains("\"exchanged_bytes\""), "{text}");
+        assert!(text.contains("\"edb_resident_bytes\""), "{text}");
         // file variant
         let path = dir.join("stats.json").display().to_string();
         let c = cli(vec![

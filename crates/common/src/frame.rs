@@ -1,0 +1,284 @@
+//! Flat, arity-strided row frames: the wire format of the exchange path.
+//!
+//! A [`Frame`] stores `len` rows of a fixed arity contiguously in one
+//! `Vec<Value>`. Compared to a `Vec<Tuple>` it has no per-row enum tag, no
+//! per-row heap spill for arity > [`INLINE_ARITY`](crate::tuple::INLINE_ARITY),
+//! and no per-row allocation when building: appending a row is a bounds
+//! check plus a memcpy of `arity` values into one growing buffer. Reading a
+//! row is a slice view, so receivers can merge without materializing a
+//! `Tuple` until (and unless) storage requires one.
+//!
+//! The arity is a property of the frame, not of each row; an empty frame
+//! created with [`Frame::new`] pins it up front, while
+//! [`Frame::for_rel`] leaves it to be learned from the first row pushed
+//! (relations have a fixed merge-layout arity, but the sender does not
+//! always know it statically). Arity-0 rows (propositional facts) are
+//! legal: the row count is tracked explicitly, not derived from
+//! `values.len() / arity`.
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::fmt;
+
+/// A flat block of fixed-arity rows.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Frame {
+    /// Values of all rows, concatenated: row `i` is
+    /// `values[i * arity .. (i + 1) * arity]`.
+    values: Vec<Value>,
+    /// The fixed row width. `None` until the first row is pushed.
+    arity: Option<usize>,
+    /// Number of rows (explicit so arity-0 frames can count rows).
+    rows: usize,
+}
+
+impl Frame {
+    /// An empty frame with a pinned arity.
+    pub fn new(arity: usize) -> Self {
+        Frame {
+            values: Vec::new(),
+            arity: Some(arity),
+            rows: 0,
+        }
+    }
+
+    /// An empty frame whose arity is learned from the first pushed row.
+    pub fn for_rel() -> Self {
+        Frame::default()
+    }
+
+    /// An empty frame with a pinned arity and room for `rows` rows.
+    pub fn with_capacity(arity: usize, rows: usize) -> Self {
+        Frame {
+            values: Vec::with_capacity(arity * rows),
+            arity: Some(arity),
+            rows: 0,
+        }
+    }
+
+    /// The row width, or `None` for a fresh [`Frame::for_rel`] frame.
+    #[inline]
+    pub fn arity(&self) -> Option<usize> {
+        self.arity
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the frame holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Payload size in bytes (what actually crosses the exchange).
+    #[inline]
+    pub fn payload_bytes(&self) -> u64 {
+        (self.values.len() * std::mem::size_of::<Value>()) as u64
+    }
+
+    /// Appends one row. Panics if the slice width disagrees with the
+    /// frame's arity (a routing bug, not a data error).
+    #[inline]
+    pub fn push_row(&mut self, row: &[Value]) {
+        match self.arity {
+            Some(a) => assert_eq!(a, row.len(), "frame arity mismatch"),
+            None => self.arity = Some(row.len()),
+        }
+        self.values.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Appends one tuple (encode).
+    #[inline]
+    pub fn push_tuple(&mut self, t: &Tuple) {
+        self.push_row(t.values());
+    }
+
+    /// Row `i` as a value slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[Value] {
+        let a = self.arity.unwrap_or(0);
+        debug_assert!(i < self.rows, "row index out of range");
+        &self.values[i * a..(i + 1) * a]
+    }
+
+    /// Iterates over the rows as value slices.
+    pub fn iter(&self) -> FrameRows<'_> {
+        FrameRows {
+            frame: self,
+            next: 0,
+        }
+    }
+
+    /// Decodes row `i` into a [`Tuple`].
+    #[inline]
+    pub fn tuple(&self, i: usize) -> Tuple {
+        Tuple::new(self.row(i))
+    }
+
+    /// Encodes a slice of tuples (all of the frame's arity) into a frame.
+    pub fn from_tuples(arity: usize, tuples: &[Tuple]) -> Self {
+        let mut f = Frame::with_capacity(arity, tuples.len());
+        for t in tuples {
+            f.push_tuple(t);
+        }
+        f
+    }
+
+    /// Decodes every row back into tuples (the reference roundtrip).
+    pub fn to_tuples(&self) -> Vec<Tuple> {
+        (0..self.rows).map(|i| self.tuple(i)).collect()
+    }
+
+    /// Splits the frame into frames of at most `max_rows` rows each. The
+    /// common case (`len <= max_rows`) moves the frame without copying.
+    pub fn into_batches(self, max_rows: usize) -> Vec<Frame> {
+        let max_rows = max_rows.max(1);
+        if self.rows <= max_rows {
+            return vec![self];
+        }
+        let a = self.arity.unwrap_or(0);
+        let mut out = Vec::with_capacity(self.rows.div_ceil(max_rows));
+        let mut start = 0;
+        while start < self.rows {
+            let end = (start + max_rows).min(self.rows);
+            let mut chunk = Frame::with_capacity(a, end - start);
+            chunk
+                .values
+                .extend_from_slice(&self.values[start * a..end * a]);
+            chunk.rows = end - start;
+            out.push(chunk);
+            start = end;
+        }
+        out
+    }
+}
+
+/// Iterator over a frame's rows as `&[Value]` slices.
+pub struct FrameRows<'a> {
+    frame: &'a Frame,
+    next: usize,
+}
+
+impl<'a> Iterator for FrameRows<'a> {
+    type Item = &'a [Value];
+
+    #[inline]
+    fn next(&mut self) -> Option<&'a [Value]> {
+        if self.next >= self.frame.rows {
+            return None;
+        }
+        let row = self.frame.row(self.next);
+        self.next += 1;
+        Some(row)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.frame.rows - self.next;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for FrameRows<'_> {}
+
+impl<'a> IntoIterator for &'a Frame {
+    type Item = &'a [Value];
+    type IntoIter = FrameRows<'a>;
+
+    fn into_iter(self) -> FrameRows<'a> {
+        self.iter()
+    }
+}
+
+impl fmt::Display for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Frame[{} x {:?}]", self.rows, self.arity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let tuples = vec![
+            Tuple::from_ints(&[1, 2]),
+            Tuple::from_ints(&[3, 4]),
+            Tuple::from_ints(&[5, 6]),
+        ];
+        let f = Frame::from_tuples(2, &tuples);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.arity(), Some(2));
+        assert_eq!(f.to_tuples(), tuples);
+        assert_eq!(f.row(1), &[Value::Int(3), Value::Int(4)]);
+    }
+
+    #[test]
+    fn arity_zero_counts_rows() {
+        let mut f = Frame::new(0);
+        f.push_tuple(&Tuple::unit());
+        f.push_tuple(&Tuple::unit());
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.payload_bytes(), 0);
+        assert_eq!(f.to_tuples(), vec![Tuple::unit(), Tuple::unit()]);
+    }
+
+    #[test]
+    fn for_rel_learns_arity_from_first_row() {
+        let mut f = Frame::for_rel();
+        assert_eq!(f.arity(), None);
+        f.push_row(&[Value::Int(7), Value::Int(8), Value::Int(9)]);
+        assert_eq!(f.arity(), Some(3));
+        f.push_tuple(&Tuple::from_ints(&[1, 2, 3]));
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn mixed_arities_panic() {
+        let mut f = Frame::new(2);
+        f.push_row(&[Value::Int(1)]);
+    }
+
+    #[test]
+    fn iterator_yields_all_rows_in_order() {
+        let f = Frame::from_tuples(
+            1,
+            &(0..10).map(|i| Tuple::from_ints(&[i])).collect::<Vec<_>>(),
+        );
+        let seen: Vec<i64> = f.iter().map(|r| r[0].expect_int()).collect();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        assert_eq!(f.iter().len(), 10);
+    }
+
+    #[test]
+    fn into_batches_moves_small_frames() {
+        let f = Frame::from_tuples(2, &[Tuple::from_ints(&[1, 2])]);
+        let batches = f.clone().into_batches(10);
+        assert_eq!(batches, vec![f]);
+    }
+
+    #[test]
+    fn into_batches_splits_and_preserves_rows() {
+        let tuples: Vec<Tuple> = (0..7).map(|i| Tuple::from_ints(&[i, i + 1])).collect();
+        let f = Frame::from_tuples(2, &tuples);
+        let batches = f.into_batches(3);
+        assert_eq!(
+            batches.iter().map(Frame::len).collect::<Vec<_>>(),
+            vec![3, 3, 1]
+        );
+        let back: Vec<Tuple> = batches.iter().flat_map(Frame::to_tuples).collect();
+        assert_eq!(back, tuples);
+    }
+
+    #[test]
+    fn payload_bytes_counts_values() {
+        let f = Frame::from_tuples(3, &[Tuple::from_ints(&[1, 2, 3])]);
+        assert_eq!(f.payload_bytes(), (3 * std::mem::size_of::<Value>()) as u64);
+    }
+}

@@ -7,6 +7,8 @@
 //!   float) used for every term in a Datalog fact.
 //! * [`Tuple`] — a small fixed-arity row of values with inline storage for
 //!   the arities that dominate Datalog workloads.
+//! * [`Frame`] — a flat, arity-strided block of rows: the allocation-free
+//!   wire format of the delta exchange between workers.
 //! * [`hash`] — the multiply-shift / Fx-style 64-bit hash used everywhere a
 //!   hash of a value or key is needed (indexes, caches, partitioning).
 //! * [`Partitioner`] — the hash-based discriminating function `H` of the
@@ -22,6 +24,7 @@
 //!   crate; see DESIGN.md §"Hermetic build".
 
 pub mod error;
+pub mod frame;
 pub mod hash;
 pub mod partition;
 pub mod proptest;
@@ -31,6 +34,7 @@ pub mod tuple;
 pub mod value;
 
 pub use error::{DcdError, Result};
+pub use frame::Frame;
 pub use partition::Partitioner;
 pub use tuple::Tuple;
 pub use value::Value;

@@ -30,6 +30,18 @@ pub trait StrategyExt: Strategy + Sized {
         Map { inner: self, f }
     }
 
+    /// Builds a dependent strategy from each generated value (mirroring
+    /// `proptest`'s `prop_flat_map`): `f` turns the first stage's value
+    /// into the strategy used for the second stage. Both stages draw from
+    /// the same choice stream, so shrinking still composes.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
     /// Erases the concrete strategy type.
     fn boxed(self) -> BoxedStrategy<Self::Value>
     where
@@ -69,6 +81,26 @@ where
 
     fn generate(&self, src: &mut DataSource) -> U {
         (self.f)(self.inner.generate(src))
+    }
+}
+
+/// The strategy returned by [`StrategyExt::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, src: &mut DataSource) -> S2::Value {
+        let first = self.inner.generate(src);
+        (self.f)(first).generate(src)
     }
 }
 
@@ -421,6 +453,18 @@ mod tests {
         assert!(!any::<bool>().generate(&mut src));
         let v = collection::vec(0i64..10, 2..5).generate(&mut src);
         assert_eq!(v, vec![0, 0]);
+    }
+
+    #[test]
+    fn flat_map_builds_dependent_strategies() {
+        let mut src = fresh();
+        // Length drawn first, then a vec of exactly that length.
+        let s = (1usize..6).prop_flat_map(|n| collection::vec(0u64..10, n..n + 1));
+        for _ in 0..200 {
+            let v = s.generate(&mut src);
+            assert!((1..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
     }
 
     #[test]

@@ -49,8 +49,28 @@ impl Tuple {
 
     /// Convenience constructor from integers.
     pub fn from_ints(vals: &[i64]) -> Self {
-        let vs: Vec<Value> = vals.iter().map(|&v| Value::Int(v)).collect();
-        Tuple::new(&vs)
+        Tuple::from_exact_iter(vals.len(), vals.iter().map(|&v| Value::Int(v)))
+    }
+
+    /// Builds a tuple of known arity from a value iterator without any
+    /// intermediate allocation for inline arities. `iter` must yield
+    /// exactly `len` values.
+    pub fn from_exact_iter(len: usize, mut iter: impl Iterator<Item = Value>) -> Self {
+        if len <= INLINE_ARITY {
+            let mut arr = [Value::Int(0); INLINE_ARITY];
+            for slot in arr.iter_mut().take(len) {
+                *slot = iter.next().expect("iterator shorter than declared len");
+            }
+            debug_assert!(iter.next().is_none(), "iterator longer than declared len");
+            Tuple::Inline {
+                len: len as u8,
+                vals: arr,
+            }
+        } else {
+            let v: Vec<Value> = iter.collect();
+            debug_assert_eq!(v.len(), len, "iterator length mismatch");
+            Tuple::Spilled(v.into_boxed_slice())
+        }
     }
 
     /// Number of values in the row.
@@ -207,5 +227,15 @@ mod tests {
     fn ordering_is_lexicographic() {
         assert!(Tuple::from_ints(&[1, 2]) < Tuple::from_ints(&[1, 3]));
         assert!(Tuple::from_ints(&[1]) < Tuple::from_ints(&[1, 0]));
+    }
+
+    #[test]
+    fn from_exact_iter_matches_new() {
+        for n in 0..7usize {
+            let vals: Vec<Value> = (0..n as i64).map(Value::Int).collect();
+            let a = Tuple::from_exact_iter(n, vals.iter().copied());
+            assert_eq!(a, Tuple::new(&vals));
+            assert_eq!(a.arity(), n);
+        }
     }
 }

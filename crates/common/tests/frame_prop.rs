@@ -1,0 +1,122 @@
+//! Property tests for the flat [`Frame`] wire format: encode/decode
+//! round-trips against [`Tuple`] at arities 0–6, which brackets the
+//! `INLINE_ARITY` (= 4) boundary where tuples switch from inline to
+//! spilled storage.
+
+use dcd_common::proptest;
+use dcd_common::proptest::prelude::*;
+use dcd_common::{Frame, Tuple, Value};
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+    ]
+}
+
+/// Rows of a fixed arity, as flat value vectors.
+fn rows_strategy(arity: usize) -> impl Strategy<Value = Vec<Vec<Value>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(value_strategy(), arity..=arity),
+        0..40,
+    )
+}
+
+/// `(arity, rows)` over the full 0..=6 arity range.
+fn frame_input() -> impl Strategy<Value = (usize, Vec<Vec<Value>>)> {
+    (0usize..=6).prop_flat_map(|a| rows_strategy(a).prop_map(move |rows| (a, rows)))
+}
+
+proptest! {
+    #[test]
+    fn tuple_roundtrip_via_frame((arity, rows) in frame_input()) {
+        let tuples: Vec<Tuple> = rows.iter().map(|r| Tuple::new(r)).collect();
+        let frame = Frame::from_tuples(arity, &tuples);
+        prop_assert_eq!(frame.len(), tuples.len());
+        if !tuples.is_empty() {
+            prop_assert_eq!(frame.arity(), Some(arity));
+        }
+        // Decode back: byte-identical tuples, in order.
+        prop_assert_eq!(frame.to_tuples(), tuples);
+    }
+
+    #[test]
+    fn row_views_match_pushed_rows((_arity, rows) in frame_input()) {
+        let mut frame = Frame::for_rel();
+        for r in &rows {
+            frame.push_row(r);
+        }
+        prop_assert_eq!(frame.len(), rows.len());
+        for (i, r) in rows.iter().enumerate() {
+            prop_assert_eq!(frame.row(i), r.as_slice());
+            prop_assert_eq!(&frame.tuple(i), &Tuple::new(r));
+        }
+        let collected: Vec<Vec<Value>> = frame.iter().map(|r| r.to_vec()).collect();
+        prop_assert_eq!(collected, rows);
+    }
+
+    #[test]
+    fn push_tuple_and_push_row_agree((arity, rows) in frame_input()) {
+        let mut by_row = Frame::new(arity);
+        let mut by_tuple = Frame::new(arity);
+        for r in &rows {
+            by_row.push_row(r);
+            by_tuple.push_tuple(&Tuple::new(r));
+        }
+        prop_assert_eq!(by_row.to_tuples(), by_tuple.to_tuples());
+        prop_assert_eq!(by_row.payload_bytes(), by_tuple.payload_bytes());
+    }
+
+    #[test]
+    fn into_batches_preserves_order_and_bytes(
+        (arity, rows) in frame_input(),
+        max_rows in 1usize..8,
+    ) {
+        let tuples: Vec<Tuple> = rows.iter().map(|r| Tuple::new(r)).collect();
+        let frame = Frame::from_tuples(arity, &tuples);
+        let total_bytes = frame.payload_bytes();
+        let pieces = frame.into_batches(max_rows);
+        let mut reassembled = Vec::new();
+        let mut bytes = 0;
+        for p in &pieces {
+            prop_assert!(p.len() <= max_rows);
+            prop_assert!(!p.is_empty() || tuples.is_empty());
+            bytes += p.payload_bytes();
+            reassembled.extend(p.to_tuples());
+        }
+        prop_assert_eq!(reassembled, tuples);
+        prop_assert_eq!(bytes, total_bytes);
+    }
+
+    #[test]
+    fn payload_bytes_is_value_stride(
+        arity in 0usize..=6,
+        n in 0usize..50,
+    ) {
+        let mut frame = Frame::new(arity);
+        let row: Vec<Value> = (0..arity as i64).map(Value::Int).collect();
+        for _ in 0..n {
+            frame.push_row(&row);
+        }
+        prop_assert_eq!(
+            frame.payload_bytes(),
+            (n * arity * std::mem::size_of::<Value>()) as u64
+        );
+    }
+}
+
+/// The INLINE_ARITY = 4 boundary, deterministically: arity 4 stays inline,
+/// arity 5 spills, and the frame encodes both identically.
+#[test]
+fn inline_boundary_roundtrip() {
+    for arity in [3usize, 4, 5] {
+        let rows: Vec<Tuple> = (0..10)
+            .map(|i| {
+                let vals: Vec<i64> = (0..arity as i64).map(|c| i * 10 + c).collect();
+                Tuple::from_ints(&vals)
+            })
+            .collect();
+        let frame = Frame::from_tuples(arity, &rows);
+        assert_eq!(frame.to_tuples(), rows, "arity {arity}");
+    }
+}

@@ -1,5 +1,6 @@
 //! The public DCDatalog API: [`Program`] → [`Engine`] → [`EvalResult`].
 
+use crate::catalog::EdbCatalog;
 use crate::config::EngineConfig;
 use crate::report::EvalReport;
 use crate::store::WorkerStore;
@@ -199,6 +200,14 @@ impl Engine {
             }
         }
         let coord = Coordination::new(&self.plan, &self.cfg);
+        // Seal the EDB once, before any worker spawns: replicated relations
+        // become a single Arc-shared copy (rows + indexes), partitioned
+        // relations one sealed slice per worker. Catalog construction is
+        // off the evaluation clock, like the paper's load phase.
+        let catalog = EdbCatalog::build(&self.plan, &self.edb_data, &coord.part);
+        for me in 0..self.cfg.workers {
+            coord.metrics[me].record_edb_resident(catalog.partitioned_bytes(me));
+        }
         let start = Instant::now();
         let n = self.cfg.workers;
 
@@ -208,16 +217,10 @@ impl Engine {
                 let coord = &coord;
                 let plan = &self.plan;
                 let cfg = &self.cfg;
-                let edb_data = &self.edb_data;
+                let catalog = &catalog;
                 handles.push(s.spawn(move || {
-                    let store = WorkerStore::build(
-                        plan,
-                        edb_data,
-                        &coord.part,
-                        me,
-                        cfg.optimized,
-                        cfg.cache_slots,
-                    );
+                    let store =
+                        WorkerStore::build(plan, catalog, me, cfg.optimized, cfg.cache_slots);
                     let worker = Worker::new(plan, cfg, coord, me);
                     let out = worker.run(store);
                     if out.is_err() {
@@ -268,6 +271,7 @@ impl Engine {
             elapsed_ns: elapsed.as_nanos() as u64,
             produced,
             consumed,
+            edb_replicated_bytes: catalog.replicated_bytes(),
             per_worker: coord.metrics.iter().map(|m| m.snapshot()).collect(),
         };
         let relations = self.collect(stores);

@@ -14,6 +14,7 @@ use dcd_common::{Tuple, Value, WorkerId};
 use dcd_frontend::physical::{
     BindAction, CompiledRule, PhysicalPlan, Placement, Probe, Step, Target,
 };
+use dcd_storage::EdbRead;
 
 /// Applies a bind list to `row`, updating `regs`; returns `false` when a
 /// check fails (candidate rejected).
@@ -108,8 +109,12 @@ impl Evaluator<'_> {
     }
 
     fn emit(&self, rule: &CompiledRule, regs: &[Value]) -> Tuple {
-        let vals: Vec<Value> = rule.head_exprs.iter().map(|e| e.eval(regs)).collect();
-        Tuple::new(&vals)
+        // Evaluates head expressions straight into the tuple's inline
+        // storage — no intermediate Vec on the emit hot path.
+        Tuple::from_exact_iter(
+            rule.head_exprs.len(),
+            rule.head_exprs.iter().map(|e| e.eval(regs)),
+        )
     }
 
     fn run_steps(
@@ -193,7 +198,8 @@ mod tests {
             let id = p.rel_by_name(name).unwrap();
             data[id] = Some(rows.clone());
         }
-        let store = WorkerStore::build(&p, &data, &Partitioner::new(1), 0, true, 64);
+        let catalog = crate::catalog::EdbCatalog::build(&p, &data, &Partitioner::new(1));
+        let store = WorkerStore::build(&p, &catalog, 0, true, 64);
         (p, store)
     }
 
@@ -316,9 +322,10 @@ mod tests {
         let mut data: Vec<Option<Vec<Tuple>>> = vec![None; p.edb.len()];
         data[arc_id] = Some(rows);
         let part = Partitioner::new(2);
+        let catalog = crate::catalog::EdbCatalog::build(&p, &data, &part);
         let mut all = Vec::new();
         for me in 0..2 {
-            let store = WorkerStore::build(&p, &data, &part, me, true, 64);
+            let store = WorkerStore::build(&p, &catalog, me, true, 64);
             let ev = Evaluator {
                 plan: &p,
                 me,
@@ -347,8 +354,9 @@ mod tests {
         let p = plan(&a, &cfg).unwrap();
         let data: Vec<Option<Vec<Tuple>>> = vec![None; p.edb.len()];
         let part = Partitioner::new(3);
+        let catalog = crate::catalog::EdbCatalog::build(&p, &data, &part);
         for me in 0..3 {
-            let store = WorkerStore::build(&p, &data, &part, me, true, 64);
+            let store = WorkerStore::build(&p, &catalog, me, true, 64);
             let ev = Evaluator {
                 plan: &p,
                 me,

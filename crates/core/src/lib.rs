@@ -44,6 +44,7 @@
 //! # Ok::<(), dcd_common::DcdError>(())
 //! ```
 
+pub mod catalog;
 pub mod config;
 pub mod engine;
 pub mod eval;
@@ -52,6 +53,7 @@ pub mod report;
 pub mod store;
 pub mod worker;
 
+pub use catalog::EdbCatalog;
 pub use config::EngineConfig;
 pub use dcd_common::{DcdError, Result, Tuple, Value};
 pub use dcd_runtime::{MetricsSnapshot, Strategy};

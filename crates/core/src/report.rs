@@ -18,7 +18,7 @@
 use dcd_runtime::MetricsSnapshot;
 
 /// Current `schema` field value of the JSON document.
-pub const REPORT_SCHEMA: u32 = 1;
+pub const REPORT_SCHEMA: u32 = 2;
 
 /// A full per-run observability report.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -33,6 +33,11 @@ pub struct EvalReport {
     pub produced: u64,
     /// Total tuples announced as consumed.
     pub consumed: u64,
+    /// Resident bytes of replicated EDB relations, counted **once** for
+    /// the whole run (they are Arc-shared, so per-worker attribution would
+    /// be fiction; partitioned slices appear in each worker's
+    /// `edb_resident_bytes` instead).
+    pub edb_replicated_bytes: u64,
     /// One snapshot per worker, indexed by worker id.
     pub per_worker: Vec<MetricsSnapshot>,
 }
@@ -66,6 +71,11 @@ impl EvalReport {
         *times.iter().max().expect("non-empty") as f64 / mean
     }
 
+    /// Total payload bytes that crossed the exchange (producer side).
+    pub fn exchanged_bytes(&self) -> u64 {
+        self.total(|w| w.bytes_sent)
+    }
+
     /// Fraction of total worker-time spent idle (parked or ω-waiting).
     pub fn idle_fraction(&self) -> f64 {
         let busy = self.total(|w| w.gather_ns + w.iterate_ns + w.distribute_ns);
@@ -88,6 +98,7 @@ impl EvalReport {
         format!(
             "{{\n  \"schema\": {},\n  \"strategy\": {},\n  \"workers\": {},\n  \
              \"elapsed_ns\": {},\n  \"produced\": {},\n  \"consumed\": {},\n  \
+             \"exchanged_bytes\": {},\n  \"edb_replicated_bytes\": {},\n  \
              \"per_worker\": [\n{}\n  ]\n}}\n",
             REPORT_SCHEMA,
             json_string(&self.strategy),
@@ -95,6 +106,8 @@ impl EvalReport {
             self.elapsed_ns,
             self.produced,
             self.consumed,
+            self.exchanged_bytes(),
+            self.edb_replicated_bytes,
             workers.join(",\n")
         )
     }
@@ -112,7 +125,7 @@ fn worker_json(i: usize, w: &MetricsSnapshot) -> String {
         })
         .collect();
     format!(
-        r#"{{"worker":{},"iterations":{},"tuples_processed":{},"tuples_sent":{},"batches_out":{},"batches_in":{},"tuples_in":{},"local_new":{},"backpressure_retries":{},"idle_ns":{},"omega_wait_ns":{},"gather_ns":{},"iterate_ns":{},"distribute_ns":{},"cache_hits":{},"cache_misses":{},"samples_dropped":{},"dws_samples":[{}]}}"#,
+        r#"{{"worker":{},"iterations":{},"tuples_processed":{},"tuples_sent":{},"batches_out":{},"batches_in":{},"tuples_in":{},"bytes_sent":{},"bytes_in":{},"edb_resident_bytes":{},"local_new":{},"backpressure_retries":{},"idle_ns":{},"omega_wait_ns":{},"gather_ns":{},"iterate_ns":{},"distribute_ns":{},"cache_hits":{},"cache_misses":{},"samples_dropped":{},"dws_samples":[{}]}}"#,
         i,
         w.iterations,
         w.tuples_processed,
@@ -120,6 +133,9 @@ fn worker_json(i: usize, w: &MetricsSnapshot) -> String {
         w.batches_out,
         w.batches_in,
         w.tuples_in,
+        w.bytes_sent,
+        w.bytes_in,
+        w.edb_resident_bytes,
         w.local_new,
         w.backpressure_retries,
         w.idle_ns,
@@ -163,6 +179,9 @@ mod tests {
             iterations: 3,
             tuples_sent: 10,
             tuples_in: 4,
+            bytes_sent: 160,
+            bytes_in: 64,
+            edb_resident_bytes: 2048,
             iterate_ns: 300,
             idle_ns: 100,
             gather_ns: 50,
@@ -179,6 +198,8 @@ mod tests {
             iterations: 1,
             tuples_sent: 4,
             tuples_in: 10,
+            bytes_sent: 64,
+            bytes_in: 160,
             iterate_ns: 100,
             omega_wait_ns: 200,
             ..MetricsSnapshot::default()
@@ -189,6 +210,7 @@ mod tests {
             elapsed_ns: 1_000,
             produced: 14,
             consumed: 14,
+            edb_replicated_bytes: 4096,
             per_worker: vec![a, b],
         }
     }
@@ -219,10 +241,15 @@ mod tests {
     fn json_is_wellformed_and_complete() {
         let r = sample_report();
         let json = r.to_json();
-        assert!(json.contains("\"schema\": 1"));
+        assert!(json.contains("\"schema\": 2"));
         assert!(json.contains("\"strategy\": \"DWS\""));
+        assert!(json.contains("\"exchanged_bytes\": 224"));
+        assert!(json.contains("\"edb_replicated_bytes\": 4096"));
         assert!(json.contains("\"worker\":0"));
         assert!(json.contains("\"worker\":1"));
+        assert!(json.contains("\"bytes_sent\":160"));
+        assert!(json.contains("\"edb_resident_bytes\":2048"));
+        assert_eq!(r.exchanged_bytes(), 224);
         assert!(json
             .contains(r#""dws_samples":[{"iteration":2,"omega":8,"tau_ns":1000,"delta_len":5}]"#));
         assert_eq!(json.matches('{').count(), json.matches('}').count());

@@ -1,16 +1,21 @@
-//! Worker-local storage: EDB partitions and recursive-relation stores.
+//! Worker-local storage: shared/sliced base relations and
+//! recursive-relation stores.
 //!
-//! Each worker owns one [`WorkerStore`]: its slice of every base relation
-//! (per the physical plan's placement) and a [`RecStore`] per derived
-//! relation combining the Gather merge logic (§5.2.2), the aggregate-aware
-//! index (§6.2.1) and the existence-check cache (§6.2.2).
+//! Each worker owns one [`WorkerStore`]: an `Arc` handle per base relation
+//! taken from the shared [`EdbCatalog`](crate::catalog::EdbCatalog)
+//! (replicated relations point at the *same* sealed allocation on every
+//! worker; partitioned relations at this worker's slice) and a [`RecStore`]
+//! per derived relation combining the Gather merge logic (§5.2.2), the
+//! aggregate-aware index (§6.2.1) and the existence-check cache (§6.2.2).
 
-use dcd_common::{Partitioner, Tuple, Value, WorkerId};
+use crate::catalog::EdbCatalog;
+use dcd_common::{Tuple, Value, WorkerId};
 use dcd_frontend::ast::AggFunc;
-use dcd_frontend::physical::{PhysicalPlan, Placement, RelId, StorageKind};
+use dcd_frontend::physical::{PhysicalPlan, RelId, StorageKind};
 use dcd_storage::{
-    AggCache, AggFunc as StAggFunc, AggRelation, BPlusTree, BaseRelation, SetRelation, TupleCache,
+    AggCache, AggFunc as StAggFunc, AggRelation, BPlusTree, SealedRelation, SetRelation, TupleCache,
 };
+use std::sync::Arc;
 
 /// Outcome of merging one incoming row.
 #[derive(Debug, PartialEq)]
@@ -270,46 +275,28 @@ fn to_storage_func(f: AggFunc) -> StAggFunc {
 
 /// All per-worker storage.
 pub struct WorkerStore {
-    /// `edb[p]`: this worker's slice of base relation `p`.
-    pub edb: Vec<Option<BaseRelation>>,
+    /// `edb[p]`: this worker's handle on base relation `p` — shared for
+    /// replicated relations, a private slice for partitioned ones.
+    pub edb: Vec<Option<Arc<SealedRelation>>>,
     /// `idb[p]`: this worker's store for derived relation `p`.
     pub idb: Vec<Option<RecStore>>,
 }
 
 impl WorkerStore {
-    /// Builds the store for worker `me`: selects/copies EDB rows per the
-    /// plan's placement and creates empty recursive stores.
+    /// Builds the store for worker `me`: takes base-relation handles from
+    /// the shared catalog and creates empty recursive stores. No EDB rows
+    /// are copied and no indexes are built here — the catalog did both,
+    /// exactly once.
     pub fn build(
         plan: &PhysicalPlan,
-        edb_data: &[Option<Vec<Tuple>>],
-        part: &Partitioner,
+        catalog: &EdbCatalog,
         me: WorkerId,
         optimized: bool,
         cache_slots: usize,
     ) -> Self {
-        let n = plan.edb.len();
-        let mut edb: Vec<Option<BaseRelation>> = Vec::with_capacity(n);
-        for (id, decl) in plan.edb.iter().enumerate() {
-            match decl {
-                None => edb.push(None),
-                Some(d) => {
-                    let rows = edb_data[id].as_deref().unwrap_or(&[]);
-                    let mine: Vec<Tuple> = match d.placement {
-                        Placement::Partitioned(c) => rows
-                            .iter()
-                            .filter(|r| part.of_key(r.key(c)) == me)
-                            .cloned()
-                            .collect(),
-                        Placement::Replicated => rows.to_vec(),
-                    };
-                    let mut rel = BaseRelation::from_rows(mine);
-                    for &c in &d.index_cols {
-                        rel.build_index(c);
-                    }
-                    edb.push(Some(rel));
-                }
-            }
-        }
+        let edb = (0..plan.edb.len())
+            .map(|id| catalog.for_worker(id, me))
+            .collect();
         let idb = plan
             .idb
             .iter()
@@ -322,7 +309,7 @@ impl WorkerStore {
     }
 
     /// The base relation `rel` (panics if not EDB — planner bug).
-    pub fn base(&self, rel: RelId) -> &BaseRelation {
+    pub fn base(&self, rel: RelId) -> &SealedRelation {
         self.edb[rel].as_ref().expect("EDB relation present")
     }
 
@@ -438,17 +425,21 @@ mod tests {
 
     #[test]
     fn worker_store_partitions_edb() {
+        use dcd_common::Partitioner;
+        use dcd_storage::EdbRead;
         let p = tc_plan();
         let arc = p.rel_by_name("arc").unwrap();
         let rows: Vec<Tuple> = (0..100).map(|i| Tuple::from_ints(&[i, i + 1])).collect();
         let mut edb_data: Vec<Option<Vec<Tuple>>> = vec![None; p.edb.len()];
         edb_data[arc] = Some(rows.clone());
         let part = Partitioner::new(4);
+        let catalog = EdbCatalog::build(&p, &edb_data, &part);
         let mut total = 0;
         for w in 0..4 {
-            let ws = WorkerStore::build(&p, &edb_data, &part, w, true, 64);
+            let ws = WorkerStore::build(&p, &catalog, w, true, 64);
             total += ws.base(arc).len();
             // Index on column 0 was built (tc's rule probes arc on col 0).
+            assert!(ws.base(arc).has_index(0));
             for r in ws.base(arc).rows() {
                 assert_eq!(part.of_key(r.key(0)), w);
             }

@@ -18,7 +18,7 @@ use crate::config::EngineConfig;
 use crate::eval::Evaluator;
 use crate::store::{Merged, WorkerStore};
 use dcd_common::hash::FastMap;
-use dcd_common::{DcdError, Partitioner, Result, Tuple, WorkerId};
+use dcd_common::{DcdError, Frame, Partitioner, Result, Tuple, WorkerId};
 use dcd_frontend::physical::{PhysicalPlan, RelId};
 use dcd_runtime::{
     Batch, BufferMatrix, DwsController, DwsSample, IdleOutcome, MetricsRecorder, RoundBarrier,
@@ -512,8 +512,10 @@ impl<'a> Worker<'a> {
         let termination = &self.coord.strata[si].termination;
         let mut local_new = 0u64;
         let mut remote_sent = 0u64;
-        // Staging area: (dest, rel) → rows.
-        let mut staged: FastMap<(WorkerId, RelId), Vec<Tuple>> = FastMap::default();
+        // Staging area: (dest, rel) → a flat frame builder. Head rows are
+        // appended value-by-value into the frame; no per-row Tuple clone
+        // ever happens on the remote path.
+        let mut staged: FastMap<(WorkerId, RelId), Frame> = FastMap::default();
         let mut dests: Vec<WorkerId> = Vec::with_capacity(2);
         for (rel, row) in outs {
             let decl = self.plan.idb[rel].as_ref().expect("IDB head");
@@ -532,27 +534,31 @@ impl<'a> Worker<'a> {
                 if d == self.me {
                     local_new += self.merge_local(store, rel, &row, delta);
                 } else {
-                    staged.entry((d, rel)).or_default().push(row.clone());
+                    staged
+                        .entry((d, rel))
+                        .or_insert_with(Frame::for_rel)
+                        .push_row(row.values());
                 }
             }
         }
         // Flush batches. When a queue is full we drain our own inbox while
         // retrying, which breaks producer/consumer cycles (two workers
         // flooding each other would otherwise deadlock).
-        for ((dest, rel), tuples) in staged {
-            for chunk in tuples.chunks(self.cfg.batch_size) {
-                termination.note_produced(chunk.len() as u64);
-                remote_sent += chunk.len() as u64;
-                self.metrics.note_batch_out(chunk.len() as u64);
+        for ((dest, rel), frame) in staged {
+            for piece in frame.into_batches(self.cfg.batch_size) {
+                let k = piece.len() as u64;
+                termination.note_produced(k);
+                remote_sent += k;
+                self.metrics.note_batch_out(k, piece.payload_bytes());
                 let mut batch = Batch {
                     rel: rel as u32,
                     route: 0, // receivers re-derive applicable routes
-                    tuples: chunk.to_vec(),
+                    frame: piece,
                     sent_at: Instant::now(),
                     from: self.me,
                 };
                 loop {
-                    match self.endpoints.to_peer[dest].push(batch) {
+                    match self.endpoints.send(dest, batch) {
                         Ok(()) => break,
                         Err(back) => {
                             batch = back;
@@ -623,14 +629,15 @@ impl<'a> Worker<'a> {
         let termination = &self.coord.strata[si].termination;
         let mut new = 0u64;
         for j in 0..self.cfg.workers {
-            while let Some(batch) = self.endpoints.from_peer[j].pop() {
-                let k = batch.tuples.len() as u64;
-                self.metrics.note_batch_in(k);
+            while let Some(batch) = self.endpoints.recv(j) {
+                let k = batch.len() as u64;
+                self.metrics.note_batch_in(k, batch.payload_bytes());
                 if let Some(ctrl) = dws.as_deref_mut() {
-                    ctrl.on_batch(batch.from, batch.tuples.len(), batch.sent_at);
+                    ctrl.on_batch(batch.from, batch.len(), batch.sent_at);
                 }
-                for row in &batch.tuples {
-                    new += self.merge_local(store, batch.rel as usize, row, delta);
+                let rel = batch.rel as usize;
+                for i in 0..batch.frame.len() {
+                    new += self.merge_local(store, rel, &batch.frame.tuple(i), delta);
                 }
                 termination.note_consumed(k);
             }

@@ -3,26 +3,54 @@
 //! Worker `W_j` sends the slice of its freshly derived delta that hashes to
 //! worker `W_i` by appending a [`Batch`] to `M_i^j`. Each `(i, j)` cell is a
 //! dedicated [`SpscQueue`], so races stay pairwise and lock-free (§6.1).
+//!
+//! Batches carry their rows as a flat [`Frame`] — one contiguous `Vec` of
+//! values with a fixed arity stride — instead of a `Vec<Tuple>`, so the
+//! exchange path moves one allocation per batch rather than one per row.
+//! The matrix also accounts exchanged *bytes*, not just batches: every
+//! successful [`WorkerEndpoints::send`] adds the frame's payload size to
+//! the producer's byte counter, every [`WorkerEndpoints::recv`] to the
+//! consumer's.
 
 use crate::spsc::{Consumer, Producer, SpscQueue};
-use dcd_common::{Tuple, WorkerId};
-use std::sync::atomic::{AtomicBool, Ordering};
+use dcd_common::{Frame, WorkerId};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
-/// A batch of derived tuples for one recursive relation, stamped with its
+/// A batch of derived rows for one recursive relation, stamped with its
 /// send time so the receiver can maintain arrival statistics for DWS.
 pub struct Batch {
-    /// Which recursive relation the tuples belong to (catalog id).
+    /// Which recursive relation the rows belong to (catalog id).
     pub rel: u32,
-    /// Which of the relation's partition columns routed these tuples
+    /// Which of the relation's partition columns routed these rows
     /// (index into the physical plan's `partition_cols`, §4.3).
     pub route: u8,
-    /// The tuples.
-    pub tuples: Vec<Tuple>,
-    /// When the producer finished the iteration that derived these tuples.
+    /// The rows, flat and arity-strided.
+    pub frame: Frame,
+    /// When the producer finished the iteration that derived these rows.
     pub sent_at: Instant,
     /// Producer worker.
     pub from: WorkerId,
+}
+
+impl Batch {
+    /// Number of rows in the batch.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.frame.len()
+    }
+
+    /// Whether the batch carries no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.frame.is_empty()
+    }
+
+    /// Payload bytes that cross the exchange.
+    #[inline]
+    pub fn payload_bytes(&self) -> u64 {
+        self.frame.payload_bytes()
+    }
 }
 
 /// The full `n × n` matrix of SPSC queues.
@@ -31,6 +59,10 @@ pub struct Batch {
 pub struct BufferMatrix {
     queues: Vec<Vec<SpscQueue<Batch>>>,
     claimed: Vec<AtomicBool>,
+    /// Bytes pushed by each producer (indexed by producer id).
+    sent_bytes: Vec<AtomicU64>,
+    /// Bytes drained by each consumer (indexed by consumer id).
+    recv_bytes: Vec<AtomicU64>,
     n: usize,
 }
 
@@ -44,6 +76,8 @@ pub struct WorkerEndpoints<'a> {
     pub from_peer: Vec<Consumer<'a, Batch>>,
     /// This worker's id.
     pub me: WorkerId,
+    sent_bytes: &'a AtomicU64,
+    recv_bytes: &'a AtomicU64,
 }
 
 impl BufferMatrix {
@@ -57,6 +91,8 @@ impl BufferMatrix {
         BufferMatrix {
             queues,
             claimed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            sent_bytes: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            recv_bytes: (0..n).map(|_| AtomicU64::new(0)).collect(),
             n,
         }
     }
@@ -93,6 +129,8 @@ impl BufferMatrix {
             to_peer,
             from_peer,
             me,
+            sent_bytes: &self.sent_bytes[me],
+            recv_bytes: &self.recv_bytes[me],
         }
     }
 
@@ -106,6 +144,24 @@ impl BufferMatrix {
     pub fn inbound_len(&self, i: WorkerId) -> usize {
         self.queues[i].iter().map(|q| q.len()).sum()
     }
+
+    /// Payload bytes pushed by worker `j` so far.
+    pub fn sent_bytes(&self, j: WorkerId) -> u64 {
+        self.sent_bytes[j].load(Ordering::Relaxed)
+    }
+
+    /// Payload bytes drained by worker `i` so far.
+    pub fn recv_bytes(&self, i: WorkerId) -> u64 {
+        self.recv_bytes[i].load(Ordering::Relaxed)
+    }
+
+    /// Total payload bytes exchanged (sum over producers).
+    pub fn exchanged_bytes(&self) -> u64 {
+        self.sent_bytes
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum()
+    }
 }
 
 impl WorkerEndpoints<'_> {
@@ -113,17 +169,37 @@ impl WorkerEndpoints<'_> {
     pub fn has_inbound(&self) -> bool {
         self.from_peer.iter().any(|c| !c.is_empty())
     }
+
+    /// Pushes `batch` towards `dest`, accounting its bytes on success.
+    /// On a full queue the batch is handed back, exactly like
+    /// [`Producer::push`].
+    pub fn send(&mut self, dest: WorkerId, batch: Batch) -> Result<(), Batch> {
+        let bytes = batch.payload_bytes();
+        self.to_peer[dest].push(batch)?;
+        self.sent_bytes.fetch_add(bytes, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Pops the next batch produced by worker `from`, accounting its bytes.
+    pub fn recv(&mut self, from: WorkerId) -> Option<Batch> {
+        let batch = self.from_peer[from].pop()?;
+        self.recv_bytes
+            .fetch_add(batch.payload_bytes(), Ordering::Relaxed);
+        Some(batch)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dcd_common::Tuple;
 
     fn batch(rel: u32, from: WorkerId, vals: &[i64]) -> Batch {
+        let tuples: Vec<Tuple> = vals.iter().map(|&v| Tuple::from_ints(&[v])).collect();
         Batch {
             rel,
             route: 0,
-            tuples: vals.iter().map(|&v| Tuple::from_ints(&[v])).collect(),
+            frame: Frame::from_tuples(1, &tuples),
             sent_at: Instant::now(),
             from,
         }
@@ -134,21 +210,21 @@ mod tests {
         let m = BufferMatrix::new(2, 16);
         let mut e0 = m.claim(0);
         let mut e1 = m.claim(1);
-        e0.to_peer[1].push(batch(0, 0, &[1, 2])).ok().unwrap();
-        let got = e1.from_peer[0].pop().unwrap();
+        e0.send(1, batch(0, 0, &[1, 2])).ok().unwrap();
+        let got = e1.recv(0).unwrap();
         assert_eq!(got.from, 0);
-        assert_eq!(got.tuples.len(), 2);
-        assert!(e1.from_peer[1].pop().is_none());
-        assert!(e0.from_peer[1].pop().is_none());
+        assert_eq!(got.len(), 2);
+        assert!(e1.recv(1).is_none());
+        assert!(e0.recv(1).is_none());
     }
 
     #[test]
     fn self_send_works() {
         let m = BufferMatrix::new(1, 4);
         let mut e = m.claim(0);
-        e.to_peer[0].push(batch(7, 0, &[9])).ok().unwrap();
+        e.send(0, batch(7, 0, &[9])).ok().unwrap();
         assert!(e.has_inbound());
-        let got = e.from_peer[0].pop().unwrap();
+        let got = e.recv(0).unwrap();
         assert_eq!(got.rel, 7);
     }
 
@@ -165,10 +241,26 @@ mod tests {
         let m = BufferMatrix::new(3, 8);
         let mut e2 = m.claim(2);
         assert!(m.inbound_empty(0));
-        e2.to_peer[0].push(batch(0, 2, &[1])).ok().unwrap();
+        e2.send(0, batch(0, 2, &[1])).ok().unwrap();
         assert!(!m.inbound_empty(0));
         assert_eq!(m.inbound_len(0), 1);
         assert!(m.inbound_empty(1));
+    }
+
+    #[test]
+    fn byte_accounting_tracks_payloads() {
+        let m = BufferMatrix::new(2, 8);
+        let mut e0 = m.claim(0);
+        let mut e1 = m.claim(1);
+        let b = batch(0, 0, &[1, 2, 3]);
+        let bytes = b.payload_bytes();
+        assert!(bytes > 0);
+        e0.send(1, b).ok().unwrap();
+        assert_eq!(m.sent_bytes(0), bytes);
+        assert_eq!(m.exchanged_bytes(), bytes);
+        assert_eq!(m.recv_bytes(1), 0, "not drained yet");
+        e1.recv(0).unwrap();
+        assert_eq!(m.recv_bytes(1), bytes);
     }
 
     #[test]
@@ -178,7 +270,9 @@ mod tests {
             s.spawn(|| {
                 let mut e0 = m.claim(0);
                 for i in 0..100 {
-                    while e0.to_peer[1].push(batch(0, 0, &[i])).is_err() {
+                    let mut b = batch(0, 0, &[i]);
+                    while let Err(back) = e0.send(1, b) {
+                        b = back;
                         std::thread::yield_now();
                     }
                 }
@@ -187,8 +281,8 @@ mod tests {
                 let mut e1 = m.claim(1);
                 let mut seen = 0;
                 while seen < 100 {
-                    if let Some(b) = e1.from_peer[0].pop() {
-                        assert_eq!(b.tuples[0], Tuple::from_ints(&[seen]));
+                    if let Some(b) = e1.recv(0) {
+                        assert_eq!(b.frame.tuple(0), Tuple::from_ints(&[seen]));
                         seen += 1;
                     } else {
                         std::thread::yield_now();
@@ -196,5 +290,6 @@ mod tests {
                 }
             });
         });
+        assert_eq!(m.exchanged_bytes(), m.recv_bytes(1));
     }
 }

@@ -86,6 +86,9 @@ pub struct MetricsRecorder {
     batches_out: AtomicU64,
     batches_in: AtomicU64,
     tuples_in: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_in: AtomicU64,
+    edb_resident_bytes: AtomicU64,
     local_new: AtomicU64,
     backpressure_retries: AtomicU64,
     idle_ns: AtomicU64,
@@ -114,6 +117,15 @@ pub struct MetricsSnapshot {
     pub batches_in: u64,
     /// Tuples received in those batches.
     pub tuples_in: u64,
+    /// Payload bytes in outgoing batches (frame values crossing the
+    /// exchange, producer side).
+    pub bytes_sent: u64,
+    /// Payload bytes in drained inbound batches (consumer side).
+    pub bytes_in: u64,
+    /// Resident bytes of the EDB slices unique to this worker
+    /// (partitioned relations only — replicated relations are shared
+    /// and accounted once at the run level).
+    pub edb_resident_bytes: u64,
     /// Local merges that produced a new/improved logical row.
     pub local_new: u64,
     /// Full-queue retry loops taken while flushing outgoing batches.
@@ -166,6 +178,9 @@ impl MetricsRecorder {
             batches_out: AtomicU64::new(0),
             batches_in: AtomicU64::new(0),
             tuples_in: AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            edb_resident_bytes: AtomicU64::new(0),
             local_new: AtomicU64::new(0),
             backpressure_retries: AtomicU64::new(0),
             idle_ns: AtomicU64::new(0),
@@ -192,18 +207,29 @@ impl MetricsRecorder {
         self.iterations.load(Ordering::Relaxed)
     }
 
-    /// Records one outgoing batch of `tuples` tuples.
+    /// Records one outgoing batch of `tuples` tuples carrying `bytes`
+    /// payload bytes.
     #[inline]
-    pub fn note_batch_out(&self, tuples: u64) {
+    pub fn note_batch_out(&self, tuples: u64, bytes: u64) {
         self.batches_out.fetch_add(1, Ordering::Relaxed);
         self.tuples_sent.fetch_add(tuples, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
     }
 
-    /// Records one drained inbound batch of `tuples` tuples.
+    /// Records one drained inbound batch of `tuples` tuples carrying
+    /// `bytes` payload bytes.
     #[inline]
-    pub fn note_batch_in(&self, tuples: u64) {
+    pub fn note_batch_in(&self, tuples: u64, bytes: u64) {
         self.batches_in.fetch_add(1, Ordering::Relaxed);
         self.tuples_in.fetch_add(tuples, Ordering::Relaxed);
+        self.bytes_in.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records the resident bytes of this worker's private EDB slices
+    /// (set once by the engine after the catalog is built).
+    #[inline]
+    pub fn record_edb_resident(&self, bytes: u64) {
+        self.edb_resident_bytes.store(bytes, Ordering::Relaxed);
     }
 
     /// Records `k` new/improved local merges.
@@ -275,6 +301,9 @@ impl MetricsRecorder {
             batches_out: self.batches_out.load(Ordering::Relaxed),
             batches_in: self.batches_in.load(Ordering::Relaxed),
             tuples_in: self.tuples_in.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            edb_resident_bytes: self.edb_resident_bytes.load(Ordering::Relaxed),
             local_new: self.local_new.load(Ordering::Relaxed),
             backpressure_retries: self.backpressure_retries.load(Ordering::Relaxed),
             idle_ns: self.idle_ns.load(Ordering::Relaxed),
@@ -299,9 +328,10 @@ mod tests {
         let m = MetricsRecorder::default();
         m.note_iteration(10);
         m.note_iteration(5);
-        m.note_batch_out(100);
-        m.note_batch_in(40);
-        m.note_batch_in(2);
+        m.note_batch_out(100, 1600);
+        m.note_batch_in(40, 640);
+        m.note_batch_in(2, 32);
+        m.record_edb_resident(4096);
         m.note_local_new(7);
         m.note_backpressure_retry();
         m.add_idle(Duration::from_nanos(500));
@@ -315,6 +345,8 @@ mod tests {
         assert_eq!(s.tuples_processed, 15);
         assert_eq!((s.batches_out, s.tuples_sent), (1, 100));
         assert_eq!((s.batches_in, s.tuples_in), (2, 42));
+        assert_eq!((s.bytes_sent, s.bytes_in), (1600, 672));
+        assert_eq!(s.edb_resident_bytes, 4096);
         assert_eq!(s.local_new, 7);
         assert_eq!(s.backpressure_retries, 1);
         assert_eq!(s.idle_ns, 500);

@@ -6,8 +6,9 @@
 //!
 //! * [`bptree::BPlusTree`] — the from-scratch B+-tree index on the
 //!   partition/join key of every recursive relation.
-//! * [`base::BaseRelation`] — immutable EDB partitions with hash indexes on
-//!   their join columns (Algorithm 1, line 3).
+//! * [`sealed::SealedRelation`] — immutable, index-complete EDB relations
+//!   built exactly once (Algorithm 1, line 3) and shared across workers;
+//!   the [`sealed::EdbRead`] trait keeps evaluator probes backend-agnostic.
 //! * [`set::SetRelation`] — recursive relations without aggregates
 //!   (`tc`, `sg`, `attend`): exact-duplicate elimination plus an ordered
 //!   probe index.
@@ -18,13 +19,13 @@
 //!   the B+-tree (§6.2.2).
 
 pub mod aggregate;
-pub mod base;
 pub mod bptree;
 pub mod cache;
+pub mod sealed;
 pub mod set;
 
 pub use aggregate::{AggFunc, AggRelation, AggState};
-pub use base::BaseRelation;
 pub use bptree::BPlusTree;
 pub use cache::{AggCache, TupleCache};
+pub use sealed::{EdbRead, SealedRelation};
 pub use set::SetRelation;

@@ -38,8 +38,10 @@ for strategy in global ssp:2 dws; do
 
     # -- Field presence --------------------------------------------------
     for field in schema strategy workers elapsed_ns produced consumed \
+                 exchanged_bytes edb_replicated_bytes \
                  per_worker worker iterations tuples_processed tuples_sent \
-                 batches_out batches_in tuples_in local_new \
+                 batches_out batches_in tuples_in bytes_sent bytes_in \
+                 edb_resident_bytes local_new \
                  backpressure_retries idle_ns omega_wait_ns gather_ns \
                  iterate_ns distribute_ns cache_hits cache_misses \
                  samples_dropped dws_samples; do
@@ -61,6 +63,14 @@ for strategy in global ssp:2 dws; do
     consumed=$(grep -o '"consumed": [0-9]*' "$out" | awk '{print $2}')
     if [ -z "$produced" ] || [ "$produced" != "$consumed" ]; then
         echo "FAIL($strategy): produced ($produced) != consumed ($consumed)" >&2
+        fail=1
+    fi
+
+    # -- Byte accounting: producer and consumer totals agree -------------
+    exchanged=$(grep -o '"exchanged_bytes": [0-9]*' "$out" | awk '{print $2}')
+    bytes_in_total=$(grep -o '"bytes_in":[0-9]*' "$out" | awk -F: '{s += $2} END {print s + 0}')
+    if [ -z "$exchanged" ] || [ "$exchanged" != "$bytes_in_total" ]; then
+        echo "FAIL($strategy): exchanged_bytes ($exchanged) != sum bytes_in ($bytes_in_total)" >&2
         fail=1
     fi
 
