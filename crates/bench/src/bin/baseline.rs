@@ -39,7 +39,7 @@ fn edge_tuples(edges: &[(i64, i64)]) -> Vec<Tuple> {
 /// clock.
 fn coordination_extra(rep: &EvalReport) -> String {
     format!(
-        r#"{{"strategy":"{}","produced":{},"consumed":{},"iterations":{},"batches_in":{},"exchanged_bytes":{},"edb_replicated_bytes":{},"edb_resident_bytes":{},"idle_ns":{},"gather_ns":{},"iterate_ns":{},"distribute_ns":{}}}"#,
+        r#"{{"strategy":"{}","produced":{},"consumed":{},"iterations":{},"batches_in":{},"exchanged_bytes":{},"edb_replicated_bytes":{},"edb_resident_bytes":{},"idle_ns":{},"omega_wait_ns":{},"gather_ns":{},"iterate_ns":{},"distribute_ns":{},"probe_hits":{},"probe_reuse":{},"kernel_batches":{},"kernel_rows":{}}}"#,
         rep.strategy,
         rep.produced,
         rep.consumed,
@@ -49,18 +49,34 @@ fn coordination_extra(rep: &EvalReport) -> String {
         rep.edb_replicated_bytes,
         rep.total(|w| w.edb_resident_bytes),
         rep.total(|w| w.idle_ns),
+        rep.total(|w| w.omega_wait_ns),
         rep.total(|w| w.gather_ns),
         rep.total(|w| w.iterate_ns),
         rep.total(|w| w.distribute_ns),
+        rep.total(|w| w.probe_hits),
+        rep.total(|w| w.probe_reuse),
+        rep.total(|w| w.kernel_batches),
+        rep.total(|w| w.kernel_rows),
     )
 }
 
 fn main() {
-    let path = std::env::args()
-        .nth(1)
+    // Positional args: output path, then an optional `group/name`
+    // substring filter (the perf-smoke script passes one to time a
+    // single anchor workload without paying for the rest).
+    let positional: Vec<String> = std::env::args()
+        .skip(1)
         .filter(|a| !a.starts_with("--"))
+        .collect();
+    let path = positional
+        .first()
+        .cloned()
         .unwrap_or_else(|| "BENCH_baseline.json".to_string());
-    let mut h = Harness::new().with_plan(10, 3).with_json_path(Some(path));
+    let filter = positional.get(1).cloned();
+    let mut h = Harness::new()
+        .with_plan(10, 3)
+        .with_json_path(Some(path))
+        .with_filter(filter);
 
     // TC on a small RMAT graph: 1, 2 and 4 workers (the 4-worker entry
     // anchors the exchanged_bytes trajectory of the frame-based exchange).
@@ -70,13 +86,17 @@ fn main() {
         edge_tuples(&dcd_datagen::rmat(256, SEED)),
     )];
     for workers in [1usize, 2, 4] {
+        let name = format!("rmat256_workers{workers}");
+        if !h.is_selected("baseline_tc", &name) {
+            continue;
+        }
         let e = engine_for(&tc, &arcs, EngineConfig::with_workers(workers));
         let warm = e.run().expect("tc runs");
         assert!(
             !warm.relation("tc").is_empty(),
             "TC produced an empty closure"
         );
-        h.bench("baseline_tc", &format!("rmat256_workers{workers}"), || {
+        h.bench("baseline_tc", &name, || {
             e.run().unwrap();
         });
         h.annotate_last(coordination_extra(&warm.stats.report));
@@ -88,13 +108,17 @@ fn main() {
     let sg = queries::sg().expect("sg program");
     let tree = vec![("arc".to_string(), edge_tuples(&dcd_datagen::tree(4, SEED)))];
     for workers in [1usize, 2] {
+        let name = format!("tree4_workers{workers}");
+        if !h.is_selected("baseline_sg", &name) {
+            continue;
+        }
         let e = engine_for(&sg, &tree, EngineConfig::with_workers(workers));
         let warm = e.run().expect("sg runs");
         assert!(
             !warm.relation("sg").is_empty(),
             "SG produced an empty result"
         );
-        h.bench("baseline_sg", &format!("tree4_workers{workers}"), || {
+        h.bench("baseline_sg", &name, || {
             e.run().unwrap();
         });
         h.annotate_last(coordination_extra(&warm.stats.report));

@@ -160,7 +160,18 @@ impl Harness {
         self
     }
 
-    fn selected(&self, group: &str, name: &str) -> bool {
+    /// Sets (or clears) the substring filter (`group/name` must contain
+    /// it). Equivalent to the bare CLI argument `from_args` accepts.
+    pub fn with_filter(mut self, filter: Option<String>) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Whether `group`/`name` passes the filter. Public so bench binaries
+    /// with expensive setup (dataset generation, warm runs) can skip
+    /// unselected workloads entirely instead of paying for setup that
+    /// [`Harness::bench`] would then discard.
+    pub fn is_selected(&self, group: &str, name: &str) -> bool {
         match &self.filter {
             Some(f) => format!("{group}/{name}").contains(f.as_str()),
             None => true,
@@ -174,7 +185,7 @@ impl Harness {
     /// `samples` timed batches; the reported figure is the median
     /// per-iteration time.
     pub fn bench(&mut self, group: &str, name: &str, mut body: impl FnMut()) {
-        if !self.selected(group, name) {
+        if !self.is_selected(group, name) {
             return;
         }
         if self.list_only {
@@ -309,8 +320,9 @@ mod tests {
 
     #[test]
     fn filter_selects_by_substring() {
-        let mut h = quiet();
-        h.filter = Some("keep".into());
+        let mut h = quiet().with_filter(Some("keep".into()));
+        assert!(h.is_selected("group_keep", "a"));
+        assert!(!h.is_selected("group_drop", "b"));
         h.bench("group_keep", "a", || {});
         h.bench("group_drop", "b", || {});
         assert_eq!(h.records().len(), 1);

@@ -209,10 +209,12 @@ mod tests {
         let mut out = Vec::new();
         run_cli(&c, &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
-        assert!(text.contains("\"schema\": 2"), "{text}");
+        assert!(text.contains("\"schema\": 3"), "{text}");
         assert!(text.contains("\"per_worker\""), "{text}");
         assert!(text.contains("\"exchanged_bytes\""), "{text}");
         assert!(text.contains("\"edb_resident_bytes\""), "{text}");
+        assert!(text.contains("\"probe_hits\""), "{text}");
+        assert!(text.contains("\"rows_per_batch\""), "{text}");
         // file variant
         let path = dir.join("stats.json").display().to_string();
         let c = cli(vec![

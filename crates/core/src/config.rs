@@ -32,6 +32,10 @@ pub struct EngineConfig {
     /// attributes to SociaLite/DDlog on non-linear queries (Table 3) and
     /// exists only as a comparison baseline.
     pub broadcast_routing: bool,
+    /// Evaluate Iterate with the batched delta-join kernel (the default).
+    /// When off, delta rows run tuple-at-a-time through `eval_delta` —
+    /// the reference path the differential tests compare against.
+    pub batch_kernel: bool,
 }
 
 impl Default for EngineConfig {
@@ -49,6 +53,7 @@ impl Default for EngineConfig {
             idle_poll: Duration::from_micros(100),
             timeout: None,
             broadcast_routing: false,
+            batch_kernel: true,
         }
     }
 }
@@ -73,6 +78,12 @@ impl EngineConfig {
         self.optimized = on;
         self
     }
+
+    /// Convenience: toggle the batched Iterate kernel.
+    pub fn batch_kernel(mut self, on: bool) -> Self {
+        self.batch_kernel = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -85,6 +96,8 @@ mod tests {
         assert!(c.workers >= 1);
         assert!(c.optimized);
         assert!(c.timeout.is_none());
+        assert!(c.batch_kernel, "batched kernel is the default path");
+        assert!(!EngineConfig::default().batch_kernel(false).batch_kernel);
     }
 
     #[test]

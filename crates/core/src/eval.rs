@@ -1,20 +1,31 @@
 //! The rule interpreter: executes [`CompiledRule`] register machines
 //! against a worker's local store.
 //!
-//! A delta rule runs once per delta tuple: bind the tuple into registers,
-//! then walk the join chain (index probes of base/recursive relations,
-//! nested-loop scans as fallback), applying assignments and filters at
-//! their compiled levels, and emit one merge-layout head row per complete
-//! binding. Initialization rules instead drive the chain from a leading
-//! scan (strided across workers for replicated tables so no derivation is
+//! A delta rule binds a delta tuple into registers, then walks the join
+//! chain (index probes of base/recursive relations, nested-loop scans as
+//! fallback), applying assignments and filters at their compiled levels,
+//! and emits one merge-layout head row per complete binding.
+//! Initialization rules instead drive the chain from a leading scan
+//! (strided across workers for replicated tables so no derivation is
 //! duplicated).
+//!
+//! The hot path is the *batched* kernel [`Evaluator::eval_delta_batch`]:
+//! one `(rel, route)` group of delta rows runs against one rule with a
+//! single persistent register file (no per-row allocation) and, when the
+//! rule opens with an index probe, the rows sorted by their probe key so
+//! runs of equal keys descend the index once and reuse the bucket
+//! (probe memoization). [`Evaluator::eval_delta`] is the tuple-at-a-time
+//! reference the differential tests pin the kernel against.
 
 use crate::store::WorkerStore;
 use dcd_common::{Tuple, Value, WorkerId};
 use dcd_frontend::physical::{
-    BindAction, CompiledRule, PhysicalPlan, Placement, Probe, Step, Target,
+    BindAction, CompiledRule, PhysicalPlan, Placement, Probe, RelId, Step, Target,
 };
 use dcd_storage::EdbRead;
+
+/// A pending delta row: `(relation, route, logical row)`.
+pub type DeltaRow = (RelId, u8, Tuple);
 
 /// Applies a bind list to `row`, updating `regs`; returns `false` when a
 /// check fails (candidate rejected).
@@ -50,6 +61,54 @@ fn apply_level(step: &Step, regs: &mut [Value]) -> bool {
     step.filters.iter().all(|f| f.eval(regs))
 }
 
+/// Delta-row prelude: binds the delta tuple into registers and applies the
+/// rule's pre-assignments and pre-filters. Returns `false` when the row is
+/// rejected before the join chain starts.
+#[inline]
+fn bind_prelude(rule: &CompiledRule, row: &Tuple, regs: &mut [Value]) -> bool {
+    let spec = rule.delta.as_ref().expect("delta rule");
+    if !apply_binds(row, &spec.binds, regs) {
+        return false;
+    }
+    for a in &rule.pre_assigns {
+        regs[a.reg as usize] = a.expr.eval(regs);
+    }
+    rule.pre_filters.iter().all(|f| f.eval(regs))
+}
+
+/// Reusable per-worker evaluation state for the batched kernel: one
+/// register file (resized per rule, never reallocated per row), the
+/// first-probe sort buffer, and the probe-memoization counters. A worker
+/// allocates one of these and threads it through every
+/// [`Evaluator::eval_delta_batch`] call, so the steady-state hot loop
+/// performs zero allocations per delta row.
+#[derive(Default)]
+pub struct EvalScratch {
+    regs: Vec<Value>,
+    /// `(first-probe key, batch row index)` pairs, sorted to cluster rows
+    /// that probe the same key.
+    order: Vec<(u64, u32)>,
+    /// Index descents performed by batched first probes.
+    pub probe_hits: u64,
+    /// Batched first probes answered by reusing the previous row's bucket.
+    pub probe_reuse: u64,
+}
+
+impl EvalScratch {
+    /// A fresh scratch with zeroed counters.
+    pub fn new() -> Self {
+        EvalScratch::default()
+    }
+}
+
+/// The memoized bucket of the batched kernel's first probe.
+enum Bucket<'a> {
+    /// A recursive relation's index bucket.
+    Idb(&'a [Tuple]),
+    /// A base relation's row ids plus the row store to resolve them.
+    Edb { rows: &'a [Tuple], ids: &'a [u32] },
+}
+
 /// Evaluation context shared by one worker.
 pub struct Evaluator<'a> {
     /// The plan.
@@ -62,7 +121,9 @@ pub struct Evaluator<'a> {
 
 impl Evaluator<'_> {
     /// Runs a delta rule for one delta tuple, appending merge-layout head
-    /// rows to `out`. Returns the number of rows emitted.
+    /// rows to `out`. Returns the number of rows emitted. This is the
+    /// tuple-at-a-time reference path; the engine's default is
+    /// [`Evaluator::eval_delta_batch`].
     pub fn eval_delta(
         &self,
         rule: &CompiledRule,
@@ -70,20 +131,133 @@ impl Evaluator<'_> {
         delta_row: &Tuple,
         out: &mut Vec<Tuple>,
     ) -> usize {
-        let spec = rule.delta.as_ref().expect("delta rule");
         let mut regs = vec![Value::Int(0); rule.nregs];
-        if !apply_binds(delta_row, &spec.binds, &mut regs) {
-            return 0;
-        }
-        for a in &rule.pre_assigns {
-            regs[a.reg as usize] = a.expr.eval(&regs);
-        }
-        if !rule.pre_filters.iter().all(|f| f.eval(&regs)) {
+        if !bind_prelude(rule, delta_row, &mut regs) {
             return 0;
         }
         let before = out.len();
-        self.run_steps(rule, store, 0, &mut regs, out);
+        self.run_steps(rule, store, 0, &mut regs, &mut |t| out.push(t));
         out.len() - before
+    }
+
+    /// The batched delta-join kernel: runs `rule` over a whole
+    /// `(rel, route)` group of delta rows, feeding head rows to `sink`.
+    /// Returns the number of rows emitted.
+    ///
+    /// The register file lives in `scratch` and is sized once per rule, so
+    /// the per-row cost is pure binding work. When the rule opens with an
+    /// index probe, the surviving rows are sorted by their probe key
+    /// (stably, preserving arrival order within a key) and runs of equal
+    /// keys reuse one index descent — `scratch` counts descents
+    /// (`probe_hits`) and reuses (`probe_reuse`).
+    pub fn eval_delta_batch(
+        &self,
+        rule: &CompiledRule,
+        store: &WorkerStore,
+        batch: &[DeltaRow],
+        scratch: &mut EvalScratch,
+        sink: &mut impl FnMut(Tuple),
+    ) -> u64 {
+        let EvalScratch {
+            regs,
+            order,
+            probe_hits,
+            probe_reuse,
+        } = scratch;
+        regs.clear();
+        regs.resize(rule.nregs, Value::Int(0));
+        let mut emitted = 0u64;
+        let mut counting = |t: Tuple| {
+            emitted += 1;
+            sink(t)
+        };
+
+        let first_index = matches!(
+            rule.steps.first(),
+            Some(Step {
+                probe: Probe::Index { .. },
+                ..
+            })
+        );
+        if !first_index || batch.len() == 1 {
+            // No leading index probe (or nothing to cluster): run the
+            // chain per row, still sharing the one register file.
+            for (_, _, row) in batch {
+                if bind_prelude(rule, row, regs) {
+                    self.run_steps(rule, store, 0, regs, &mut counting);
+                }
+            }
+            return emitted;
+        }
+
+        let step = &rule.steps[0];
+        let Probe::Index { col, key } = &step.probe else {
+            unreachable!("first_index checked above")
+        };
+
+        // Pass 1: prelude every row; survivors record their first-probe
+        // key. The stable sort clusters equal keys without reordering
+        // rows within a key.
+        order.clear();
+        for (i, (_, _, row)) in batch.iter().enumerate() {
+            if bind_prelude(rule, row, regs) {
+                order.push((key.eval(regs).key_bits(), i as u32));
+            }
+        }
+        order.sort_by_key(|&(k, _)| k);
+
+        // Pass 2: walk the clustered rows; descend the index only when the
+        // key changes. The store is immutable for the whole local
+        // iteration, so the bucket borrow stays valid across rows.
+        let mut cached: Option<(u64, Bucket<'_>)> = None;
+        for &(key_bits, i) in order.iter() {
+            let (_, _, row) = &batch[i as usize];
+            // Re-run the prelude: it passed in pass 1 (it is deterministic)
+            // but the shared registers now hold the previous row's state.
+            let ok = bind_prelude(rule, row, regs);
+            debug_assert!(ok, "prelude re-run diverged");
+            if !ok {
+                continue;
+            }
+            match &cached {
+                Some((k, _)) if *k == key_bits => *probe_reuse += 1,
+                _ => {
+                    *probe_hits += 1;
+                    let bucket = match step.target {
+                        Target::Idb { rel, .. } => {
+                            Bucket::Idb(store.rec(rel).probe(*col, key_bits))
+                        }
+                        Target::Edb(rel) => {
+                            let base = store.base(rel);
+                            Bucket::Edb {
+                                rows: base.rows(),
+                                ids: base.probe_ids(*col, key_bits),
+                            }
+                        }
+                    };
+                    cached = Some((key_bits, bucket));
+                }
+            }
+            let (_, bucket) = cached.as_ref().expect("bucket cached above");
+            match bucket {
+                Bucket::Idb(rows) => {
+                    for cand in *rows {
+                        if apply_binds(cand, &step.binds, regs) && apply_level(step, regs) {
+                            self.run_steps(rule, store, 1, regs, &mut counting);
+                        }
+                    }
+                }
+                Bucket::Edb { rows, ids } => {
+                    for &id in *ids {
+                        let cand = &rows[id as usize];
+                        if apply_binds(cand, &step.binds, regs) && apply_level(step, regs) {
+                            self.run_steps(rule, store, 1, regs, &mut counting);
+                        }
+                    }
+                }
+            }
+        }
+        emitted
     }
 
     /// Runs an initialization rule (leading scan / constant rule),
@@ -105,7 +279,7 @@ impl Evaluator<'_> {
             }
             return;
         }
-        self.run_steps(rule, store, 0, &mut regs, out);
+        self.run_steps(rule, store, 0, &mut regs, &mut |t| out.push(t));
     }
 
     fn emit(&self, rule: &CompiledRule, regs: &[Value]) -> Tuple {
@@ -122,11 +296,11 @@ impl Evaluator<'_> {
         rule: &CompiledRule,
         store: &WorkerStore,
         k: usize,
-        regs: &mut Vec<Value>,
-        out: &mut Vec<Tuple>,
+        regs: &mut [Value],
+        sink: &mut impl FnMut(Tuple),
     ) {
         if k == rule.steps.len() {
-            out.push(self.emit(rule, regs));
+            sink(self.emit(rule, regs));
             return;
         }
         let step = &rule.steps[k];
@@ -138,7 +312,7 @@ impl Evaluator<'_> {
                 let base = store.base(rel);
                 for row in base.probe(*col, key_bits) {
                     if apply_binds(row, &step.binds, regs) && apply_level(step, regs) {
-                        self.run_steps(rule, store, k + 1, regs, out);
+                        self.run_steps(rule, store, k + 1, regs, sink);
                     }
                 }
             }
@@ -149,7 +323,7 @@ impl Evaluator<'_> {
                 // bucket can be borrowed directly.
                 for row in store.rec(rel).probe(*col, key_bits) {
                     if apply_binds(row, &step.binds, regs) && apply_level(step, regs) {
-                        self.run_steps(rule, store, k + 1, regs, out);
+                        self.run_steps(rule, store, k + 1, regs, sink);
                     }
                 }
             }
@@ -166,15 +340,16 @@ impl Evaluator<'_> {
                         continue;
                     }
                     if apply_binds(row, &step.binds, regs) && apply_level(step, regs) {
-                        self.run_steps(rule, store, k + 1, regs, out);
+                        self.run_steps(rule, store, k + 1, regs, sink);
                     }
                 }
             }
             (Probe::Scan, Target::Idb { rel, .. }) => {
-                let rows = store.rec(rel).rows();
-                for row in &rows {
-                    if apply_binds(row, &step.binds, regs) && apply_level(step, regs) {
-                        self.run_steps(rule, store, k + 1, regs, out);
+                // Stream the store's logical rows in place — no
+                // materialized Vec per scan step.
+                for row in store.rec(rel).scan() {
+                    if apply_binds(&row, &step.binds, regs) && apply_level(step, regs) {
+                        self.run_steps(rule, store, k + 1, regs, sink);
                     }
                 }
             }
@@ -372,6 +547,104 @@ mod tests {
                 assert!(out.is_empty());
             }
         }
+    }
+
+    #[test]
+    fn batch_kernel_matches_tuple_at_a_time_and_reuses_probes() {
+        // Arcs chosen so two tc delta rows probe the same key (2): the
+        // kernel must reuse the bucket and still emit identical rows.
+        let (p, mut store) = build(
+            "tc(X, Y) <- arc(X, Y). tc(X, Y) <- tc(X, Z), arc(Z, Y).",
+            &[(
+                "arc",
+                vec![
+                    Tuple::from_ints(&[0, 2]),
+                    Tuple::from_ints(&[1, 2]),
+                    Tuple::from_ints(&[2, 3]),
+                    Tuple::from_ints(&[2, 4]),
+                    Tuple::from_ints(&[3, 5]),
+                ],
+            )],
+        );
+        let ev = Evaluator {
+            plan: &p,
+            me: 0,
+            workers: 1,
+        };
+        let tc = p.rel_by_name("tc").unwrap();
+        let mut init = Vec::new();
+        for r in &p.strata[0].init_rules {
+            ev.eval_init(r, &store, &mut init);
+        }
+        let mut batch: Vec<DeltaRow> = Vec::new();
+        for row in &init {
+            if let Merged::New(l) = store.rec_mut(tc).merge(row) {
+                batch.push((tc, 0, l));
+            }
+        }
+        let rule = &p.strata[0].delta_rules[0];
+        let mut want = Vec::new();
+        for (_, _, row) in &batch {
+            ev.eval_delta(rule, &store, row, &mut want);
+        }
+        let mut got = Vec::new();
+        let mut scratch = EvalScratch::new();
+        let n = ev.eval_delta_batch(rule, &store, &batch, &mut scratch, &mut |t| got.push(t));
+        assert_eq!(n as usize, got.len());
+        want.sort();
+        got.sort();
+        assert_eq!(got, want);
+        // Keys probed: 2, 2, 3, 4, 5 → one reused descent.
+        assert_eq!(scratch.probe_reuse, 1);
+        assert_eq!(scratch.probe_hits, 4);
+    }
+
+    #[test]
+    fn batch_kernel_handles_prefilters_and_arithmetic() {
+        let (p, mut store) = build(
+            "sp(To, min<C>) <- src(To), C = 0.
+             sp(To2, min<C>) <- sp(To1, C1), warc(To1, To2, C2), C = C1 + C2, C < 100.",
+            &[
+                ("src", vec![Tuple::from_ints(&[1]), Tuple::from_ints(&[4])]),
+                (
+                    "warc",
+                    vec![
+                        Tuple::from_ints(&[1, 2, 10]),
+                        Tuple::from_ints(&[1, 3, 200]),
+                        Tuple::from_ints(&[4, 5, 7]),
+                    ],
+                ),
+            ],
+        );
+        let ev = Evaluator {
+            plan: &p,
+            me: 0,
+            workers: 1,
+        };
+        let sp = p.rel_by_name("sp").unwrap();
+        let mut init = Vec::new();
+        for r in &p.strata[0].init_rules {
+            ev.eval_init(r, &store, &mut init);
+        }
+        let mut batch: Vec<DeltaRow> = Vec::new();
+        for row in &init {
+            if let Merged::New(l) = store.rec_mut(sp).merge(row) {
+                batch.push((sp, 0, l));
+            }
+        }
+        let rule = &p.strata[0].delta_rules[0];
+        let mut want = Vec::new();
+        for (_, _, row) in &batch {
+            ev.eval_delta(rule, &store, row, &mut want);
+        }
+        let mut got = Vec::new();
+        let mut scratch = EvalScratch::new();
+        ev.eval_delta_batch(rule, &store, &batch, &mut scratch, &mut |t| got.push(t));
+        want.sort();
+        got.sort();
+        assert_eq!(got, want);
+        // The C < 100 filter prunes (1 → 3, 200) in both paths.
+        assert_eq!(got.len(), 2);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use dcd_runtime::MetricsSnapshot;
 
 /// Current `schema` field value of the JSON document.
-pub const REPORT_SCHEMA: u32 = 2;
+pub const REPORT_SCHEMA: u32 = 3;
 
 /// A full per-run observability report.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -125,7 +125,7 @@ fn worker_json(i: usize, w: &MetricsSnapshot) -> String {
         })
         .collect();
     format!(
-        r#"{{"worker":{},"iterations":{},"tuples_processed":{},"tuples_sent":{},"batches_out":{},"batches_in":{},"tuples_in":{},"bytes_sent":{},"bytes_in":{},"edb_resident_bytes":{},"local_new":{},"backpressure_retries":{},"idle_ns":{},"omega_wait_ns":{},"gather_ns":{},"iterate_ns":{},"distribute_ns":{},"cache_hits":{},"cache_misses":{},"samples_dropped":{},"dws_samples":[{}]}}"#,
+        r#"{{"worker":{},"iterations":{},"tuples_processed":{},"tuples_sent":{},"batches_out":{},"batches_in":{},"tuples_in":{},"bytes_sent":{},"bytes_in":{},"edb_resident_bytes":{},"local_new":{},"backpressure_retries":{},"idle_ns":{},"omega_wait_ns":{},"gather_ns":{},"iterate_ns":{},"distribute_ns":{},"cache_hits":{},"cache_misses":{},"probe_hits":{},"probe_reuse":{},"kernel_batches":{},"kernel_rows":{},"rows_per_batch":{:.3},"samples_dropped":{},"dws_samples":[{}]}}"#,
         i,
         w.iterations,
         w.tuples_processed,
@@ -145,6 +145,11 @@ fn worker_json(i: usize, w: &MetricsSnapshot) -> String {
         w.distribute_ns,
         w.cache_hits,
         w.cache_misses,
+        w.probe_hits,
+        w.probe_reuse,
+        w.kernel_batches,
+        w.kernel_rows,
+        w.rows_per_batch(),
         w.samples_dropped,
         samples.join(",")
     )
@@ -186,6 +191,10 @@ mod tests {
             idle_ns: 100,
             gather_ns: 50,
             distribute_ns: 50,
+            probe_hits: 5,
+            probe_reuse: 15,
+            kernel_batches: 2,
+            kernel_rows: 9,
             ..MetricsSnapshot::default()
         };
         a.dws_samples.push(DwsSample {
@@ -241,7 +250,7 @@ mod tests {
     fn json_is_wellformed_and_complete() {
         let r = sample_report();
         let json = r.to_json();
-        assert!(json.contains("\"schema\": 2"));
+        assert!(json.contains("\"schema\": 3"));
         assert!(json.contains("\"strategy\": \"DWS\""));
         assert!(json.contains("\"exchanged_bytes\": 224"));
         assert!(json.contains("\"edb_replicated_bytes\": 4096"));
@@ -249,6 +258,10 @@ mod tests {
         assert!(json.contains("\"worker\":1"));
         assert!(json.contains("\"bytes_sent\":160"));
         assert!(json.contains("\"edb_resident_bytes\":2048"));
+        assert!(json.contains("\"probe_hits\":5"));
+        assert!(json.contains("\"probe_reuse\":15"));
+        assert!(json.contains("\"kernel_batches\":2"));
+        assert!(json.contains("\"rows_per_batch\":4.500"));
         assert_eq!(r.exchanged_bytes(), 224);
         assert!(json
             .contains(r#""dws_samples":[{"iteration":2,"omega":8,"tau_ns":1000,"delta_len":5}]"#));

@@ -152,7 +152,9 @@ impl RecStore {
 
     /// Merges one incoming merge-layout row (the Gather operator).
     pub fn merge(&mut self, row: &Tuple) -> Merged {
-        match self.kind.clone() {
+        // Matching on the place (not a clone) is fine: every bound field is
+        // `Copy`, so the scrutinee borrow ends before the arms run.
+        match self.kind {
             StorageKind::Set => {
                 if let Some(cache) = &mut self.tuple_cache {
                     if cache.check(row) {
@@ -181,7 +183,7 @@ impl RecStore {
                 // Cache pre-check (min/max only): prune non-improving rows
                 // without touching the B+-tree.
                 if let Some(cache) = &mut self.agg_cache {
-                    let group = row.project(&(0..group_cols).collect::<Vec<_>>());
+                    let group = row.prefix(group_cols);
                     if let Some(cached) = cache.get(&group) {
                         let candidate = row.values()[group_cols];
                         let non_improving = match func {
@@ -211,7 +213,7 @@ impl RecStore {
                 match agg.merge(row) {
                     dcd_storage::aggregate::MergeOutcome::Updated(logical) => {
                         if let Some(cache) = &mut self.agg_cache {
-                            let group = logical.project(&(0..group_cols).collect::<Vec<_>>());
+                            let group = logical.prefix(group_cols);
                             cache.record(&group, logical.values()[group_cols]);
                         }
                         for idx in &mut self.secondary {
@@ -248,6 +250,17 @@ impl RecStore {
         }
     }
 
+    /// Streams the current logical rows without materializing a `Vec` —
+    /// the evaluator's in-place IDB scan. Set rows are borrowed straight
+    /// from the index; aggregate rows are assembled lazily.
+    pub fn scan(&self) -> RecScan<'_> {
+        match (&self.set, &self.agg) {
+            (Some(s), _) => RecScan::Set(s.scan()),
+            (_, Some(a)) => RecScan::Agg(a.scan()),
+            _ => RecScan::Empty,
+        }
+    }
+
     /// Existence-cache `(hits, misses)` for this relation, summed over the
     /// tuple and aggregate caches (both zero when optimizations are off).
     pub fn cache_stats(&self) -> (u64, u64) {
@@ -261,6 +274,31 @@ impl RecStore {
             m += c.misses();
         }
         (h, m)
+    }
+}
+
+/// Streaming scan over a [`RecStore`]'s logical rows. `Cow` items let set
+/// relations lend their rows borrow-only while aggregate relations yield
+/// the `(group…, value)` rows they assemble on the fly.
+pub enum RecScan<'a> {
+    /// Borrowed rows from a set relation.
+    Set(dcd_storage::SetScan<'a>),
+    /// Assembled rows from an aggregate relation.
+    Agg(dcd_storage::AggScan<'a>),
+    /// Defensive arm for a store with no backing relation.
+    Empty,
+}
+
+impl<'a> Iterator for RecScan<'a> {
+    type Item = std::borrow::Cow<'a, Tuple>;
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            RecScan::Set(s) => s.next().map(std::borrow::Cow::Borrowed),
+            RecScan::Agg(a) => a.next().map(std::borrow::Cow::Owned),
+            RecScan::Empty => None,
+        }
     }
 }
 
@@ -421,6 +459,29 @@ mod tests {
         fr.sort();
         sr.sort();
         assert_eq!(fr, sr);
+    }
+
+    #[test]
+    fn scan_streams_the_same_rows_as_rows() {
+        let p = tc_plan();
+        let tc = p.rel_by_name("tc").unwrap();
+        let mut s = RecStore::new(&p, tc, true, 64);
+        for i in 0..50i64 {
+            s.merge(&Tuple::from_ints(&[i % 7, i]));
+        }
+        let a = s.rows();
+        let b: Vec<Tuple> = s.scan().map(|c| c.into_owned()).collect();
+        assert_eq!(a, b);
+
+        let p = cc_plan();
+        let cc2 = p.rel_by_name("cc2").unwrap();
+        let mut s = RecStore::new(&p, cc2, true, 64);
+        for i in 0..50i64 {
+            s.merge(&Tuple::from_ints(&[i % 7, i]));
+        }
+        let a = s.rows();
+        let b: Vec<Tuple> = s.scan().map(|c| c.into_owned()).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

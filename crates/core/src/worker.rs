@@ -15,7 +15,7 @@
 //! correct even when two routes hash to the same worker.
 
 use crate::config::EngineConfig;
-use crate::eval::Evaluator;
+use crate::eval::{DeltaRow, EvalScratch, Evaluator};
 use crate::store::{Merged, WorkerStore};
 use dcd_common::hash::FastMap;
 use dcd_common::{DcdError, Frame, Partitioner, Result, Tuple, WorkerId};
@@ -24,6 +24,7 @@ use dcd_runtime::{
     Batch, BufferMatrix, DwsController, DwsSample, IdleOutcome, MetricsRecorder, RoundBarrier,
     SspClock, Strategy, Termination, WorkerEndpoints,
 };
+use dcd_storage::TupleCache;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
@@ -137,10 +138,15 @@ pub struct WorkerStats {
 /// Pre-Distribute partial aggregation (§5.2.3): merge-layout rows derived
 /// within one local iteration collapse per key before routing — min/max
 /// keep the best row per group, sum/count keep the latest row per
-/// (group, contributor), set relations drop exact duplicates.
+/// (group, contributor). Set-relation rows skip the map entirely: their
+/// only collapse is exact-duplicate elimination, which Distribute's
+/// sent-filter (and, ultimately, the idempotent merge) already performs
+/// — hashing every head row into a per-round map just to drop dupes a
+/// later stage drops anyway was pure round-trip cost.
 #[derive(Default)]
 struct PartialAgg {
     best: FastMap<(RelId, Tuple), Tuple>,
+    rows: Vec<(RelId, Tuple)>,
 }
 
 impl PartialAgg {
@@ -150,8 +156,7 @@ impl PartialAgg {
         let decl = plan.idb[rel].as_ref().expect("IDB head");
         match &decl.kind {
             StorageKind::Set => {
-                // Exact-duplicate elimination.
-                self.best.entry((rel, row.clone())).or_insert(row);
+                self.rows.push((rel, row));
             }
             StorageKind::Agg {
                 func, group_cols, ..
@@ -161,7 +166,7 @@ impl PartialAgg {
                     // Contributor is part of the key; later rows replace.
                     AggFunc::Sum | AggFunc::Count => (*group_cols + 1, None),
                 };
-                let key = row.project(&(0..key_cols).collect::<Vec<_>>());
+                let key = row.prefix(key_cols);
                 match self.best.entry((rel, key)) {
                     std::collections::hash_map::Entry::Vacant(v) => {
                         v.insert(row);
@@ -186,17 +191,18 @@ impl PartialAgg {
         }
     }
 
-    fn into_rows(self) -> Vec<(RelId, Tuple)> {
-        self.best
+    /// Consumes the accumulator, yielding `(head relation, row)` pairs
+    /// straight into Distribute — no intermediate `Vec` round-trip.
+    fn drain(self) -> impl Iterator<Item = (RelId, Tuple)> {
+        self.rows
             .into_iter()
-            .map(|((rel, _), row)| (rel, row))
-            .collect()
+            .chain(self.best.into_iter().map(|((rel, _), row)| (rel, row)))
     }
 }
 
 /// Pending delta rows: `(relation, route, logical row)`.
 struct DeltaSet {
-    rows: Vec<(RelId, u8, Tuple)>,
+    rows: Vec<DeltaRow>,
 }
 
 impl DeltaSet {
@@ -212,7 +218,7 @@ impl DeltaSet {
         self.rows.is_empty()
     }
 
-    fn take(&mut self) -> Vec<(RelId, u8, Tuple)> {
+    fn take(&mut self) -> Vec<DeltaRow> {
         std::mem::take(&mut self.rows)
     }
 }
@@ -225,6 +231,18 @@ pub struct Worker<'a> {
     endpoints: WorkerEndpoints<'a>,
     me: WorkerId,
     evaluator: Evaluator<'a>,
+    /// Persistent register file + probe counters for the batched kernel.
+    scratch: EvalScratch,
+    /// Per-relation exact-duplicate filter for Distribute — the §6.2
+    /// existence-check cache applied to the *exchange*: a head row
+    /// identical to one this worker already routed is dropped before it
+    /// is serialized. Merging an identical row is a no-op, so
+    /// suppression can never change the fixpoint; it only saves the
+    /// serialize → queue → deserialize → reject round-trip duplicates
+    /// otherwise pay. `None` for aggregate relations (their rows evolve,
+    /// so exact repeats are rare) and for single-worker or unoptimized
+    /// runs.
+    sent_filter: Vec<Option<TupleCache>>,
     metrics: &'a MetricsRecorder,
 }
 
@@ -236,6 +254,22 @@ impl<'a> Worker<'a> {
         coord: &'a Coordination,
         me: WorkerId,
     ) -> Self {
+        use dcd_frontend::physical::StorageKind;
+        let sent_filter: Vec<Option<TupleCache>> = plan
+            .idb
+            .iter()
+            .map(|decl| match decl {
+                Some(d)
+                    if cfg.optimized && cfg.workers > 1 && matches!(d.kind, StorageKind::Set) =>
+                {
+                    // 4× the merge-side cache: this filter guards the
+                    // whole relation's row universe, not just recency,
+                    // and every eviction turns into a wasted remote send.
+                    Some(TupleCache::new(cfg.cache_slots * 4))
+                }
+                _ => None,
+            })
+            .collect();
         Worker {
             plan,
             cfg,
@@ -247,6 +281,8 @@ impl<'a> Worker<'a> {
                 me,
                 workers: cfg.workers,
             },
+            scratch: EvalScratch::new(),
+            sent_filter,
             metrics: &coord.metrics[me],
         }
     }
@@ -257,10 +293,17 @@ impl<'a> Worker<'a> {
         for si in 0..self.plan.strata.len() {
             self.run_stratum(si, &mut store)?;
         }
-        // Fold the storage layer's cache counters into the recorder so the
-        // engine-level snapshot carries them.
+        // Fold the storage layer's cache counters and the kernel's probe
+        // counters into the recorder so the engine-level snapshot carries
+        // them.
         let (hits, misses) = store.cache_totals();
         self.metrics.record_cache(hits, misses);
+        for f in self.sent_filter.iter().flatten() {
+            let (h, m) = f.stats();
+            self.metrics.record_cache(h, m);
+        }
+        self.metrics
+            .record_probes(self.scratch.probe_hits, self.scratch.probe_reuse);
         let snap = self.metrics.snapshot();
         let stats = WorkerStats {
             iterations: snap.iterations,
@@ -296,9 +339,8 @@ impl<'a> Worker<'a> {
                 }
             }
         }
-        let outs = acc.into_rows();
         let mut delta = DeltaSet::new();
-        self.distribute(si, store, outs, &mut delta, &mut None)?;
+        self.distribute(si, store, acc, &mut delta, &mut None)?;
         sc.post_init.wait();
 
         // ---- Fixpoint phase ----
@@ -438,17 +480,17 @@ impl<'a> Worker<'a> {
     /// aggregate group that updated several times since the last local
     /// iteration keeps only its newest logical row. Without this, `sum`
     /// relations fragment convergence into O(total-change/ε) micro-deltas.
-    fn coalesce(&self, rows: Vec<(RelId, u8, Tuple)>) -> Vec<(RelId, u8, Tuple)> {
+    fn coalesce(&self, rows: Vec<DeltaRow>) -> Vec<DeltaRow> {
         use dcd_frontend::physical::StorageKind;
-        // (rel, route, group values) → index of the newest row.
-        let mut latest: FastMap<(RelId, u8, Vec<dcd_common::Value>), usize> = FastMap::default();
+        // (rel, route, group prefix) → index of the newest row.
+        let mut latest: FastMap<(RelId, u8, Tuple), usize> = FastMap::default();
         let mut keep = vec![true; rows.len()];
         for (i, (rel, route, row)) in rows.iter().enumerate() {
             let decl = self.plan.idb[*rel].as_ref().expect("IDB");
             let StorageKind::Agg { group_cols, .. } = &decl.kind else {
                 continue; // set relations never duplicate
             };
-            let key = (*rel, *route, row.values()[..*group_cols].to_vec());
+            let key = (*rel, *route, row.prefix(*group_cols));
             if let Some(prev) = latest.insert(key, i) {
                 keep[prev] = false;
             }
@@ -464,34 +506,60 @@ impl<'a> Worker<'a> {
     /// aggregation of §5.2.3 ("the Distribute operators also perform some
     /// partial aggregation"), so the returned list is bounded by the
     /// number of distinct output groups, not raw join results.
-    fn iterate(
-        &mut self,
-        si: usize,
-        store: &WorkerStore,
-        delta: &mut DeltaSet,
-    ) -> Vec<(RelId, Tuple)> {
+    fn iterate(&mut self, si: usize, store: &WorkerStore, delta: &mut DeltaSet) -> PartialAgg {
         let t0 = Instant::now();
         let stratum = &self.plan.strata[si];
-        let rows = self.coalesce(delta.take());
+        let mut rows = self.coalesce(delta.take());
         self.metrics.note_iteration(rows.len() as u64);
         let mut acc = PartialAgg::default();
-        let mut buf = Vec::new();
-        for (rel, route, row) in &rows {
-            for rule in &stratum.delta_rules {
-                let spec = rule.delta.as_ref().expect("delta rule");
-                if spec.rel != *rel || spec.route != *route as usize {
-                    continue;
+        if self.cfg.batch_kernel {
+            // Cluster the delta by (rel, route): each cluster runs as one
+            // batch per matching rule. The sort is stable, so rows keep
+            // their arrival order within a cluster.
+            rows.sort_by_key(|r| (r.0, r.1));
+            let plan = self.plan;
+            let evaluator = &self.evaluator;
+            let scratch = &mut self.scratch;
+            let mut start = 0;
+            while start < rows.len() {
+                let (rel, route) = (rows[start].0, rows[start].1);
+                let mut end = start + 1;
+                while end < rows.len() && rows[end].0 == rel && rows[end].1 == route {
+                    end += 1;
                 }
-                buf.clear();
-                self.evaluator.eval_delta(rule, store, row, &mut buf);
-                for t in buf.drain(..) {
-                    acc.push(self.plan, rule.head_rel, t);
+                let group = &rows[start..end];
+                for rule in &stratum.delta_rules {
+                    let spec = rule.delta.as_ref().expect("delta rule");
+                    if spec.rel != rel || spec.route != route as usize {
+                        continue;
+                    }
+                    let head = rule.head_rel;
+                    evaluator.eval_delta_batch(rule, store, group, scratch, &mut |t| {
+                        acc.push(plan, head, t)
+                    });
+                    self.metrics.note_kernel_batch(group.len() as u64);
+                }
+                start = end;
+            }
+        } else {
+            // Tuple-at-a-time reference path, kept reachable end to end so
+            // the differential tests can pin the kernel against it.
+            let mut buf = Vec::new();
+            for (rel, route, row) in &rows {
+                for rule in &stratum.delta_rules {
+                    let spec = rule.delta.as_ref().expect("delta rule");
+                    if spec.rel != *rel || spec.route != *route as usize {
+                        continue;
+                    }
+                    self.evaluator.eval_delta(rule, store, row, &mut buf);
+                    for t in buf.drain(..) {
+                        acc.push(self.plan, rule.head_rel, t);
+                    }
                 }
             }
         }
-        let outs = acc.into_rows();
         self.metrics.add_iterate(t0.elapsed());
-        outs
+        acc
     }
 
     /// Routes derived tuples (Distribute): local merges feed the next
@@ -503,7 +571,7 @@ impl<'a> Worker<'a> {
         &mut self,
         si: usize,
         store: &mut WorkerStore,
-        outs: Vec<(RelId, Tuple)>,
+        outs: PartialAgg,
         delta: &mut DeltaSet,
         dws: &mut Option<&mut DwsController>,
     ) -> Result<(u64, u64)> {
@@ -512,12 +580,25 @@ impl<'a> Worker<'a> {
         let termination = &self.coord.strata[si].termination;
         let mut local_new = 0u64;
         let mut remote_sent = 0u64;
-        // Staging area: (dest, rel) → a flat frame builder. Head rows are
-        // appended value-by-value into the frame; no per-row Tuple clone
-        // ever happens on the remote path.
+        // Staging area: (dest, rel) → a flat frame builder. Head rows flow
+        // from the partial-aggregation map straight into the frames; no
+        // intermediate Vec<(RelId, Tuple)> and no per-row Tuple clone on
+        // the remote path.
         let mut staged: FastMap<(WorkerId, RelId), Frame> = FastMap::default();
         let mut dests: Vec<WorkerId> = Vec::with_capacity(2);
-        for (rel, row) in outs {
+        // Taken (not borrowed) so the filter can be consulted while
+        // `merge_local` borrows `self`; restored right after the loop.
+        let mut filters = std::mem::take(&mut self.sent_filter);
+        for (rel, row) in outs.drain() {
+            // A row this worker already routed went to the same
+            // (deterministic) destinations then; re-merging it anywhere
+            // is a no-op, so the whole row can be dropped.
+            if let Some(filter) = &mut filters[rel] {
+                if filter.check(&row) {
+                    continue;
+                }
+                filter.record(&row);
+            }
             let decl = self.plan.idb[rel].as_ref().expect("IDB head");
             dests.clear();
             if decl.broadcast {
@@ -541,6 +622,7 @@ impl<'a> Worker<'a> {
                 }
             }
         }
+        self.sent_filter = filters;
         // Flush batches. When a queue is full we drain our own inbox while
         // retrying, which breaks producer/consumer cycles (two workers
         // flooding each other would otherwise deadlock).
@@ -681,7 +763,7 @@ mod tests {
         acc.push(&p, cc2, Tuple::from_ints(&[1, 3]));
         acc.push(&p, cc2, Tuple::from_ints(&[1, 7]));
         acc.push(&p, cc2, Tuple::from_ints(&[2, 5]));
-        let mut rows = acc.into_rows();
+        let mut rows: Vec<(RelId, Tuple)> = acc.drain().collect();
         rows.sort_by(|a, b| a.1.cmp(&b.1));
         assert_eq!(
             rows.iter().map(|(_, t)| t.clone()).collect::<Vec<_>>(),
@@ -690,7 +772,10 @@ mod tests {
     }
 
     #[test]
-    fn partial_agg_dedups_set_rows() {
+    fn partial_agg_passes_set_rows_through() {
+        // Set rows are NOT collapsed here: exact-duplicate elimination is
+        // Distribute's job (sent-filter + idempotent merge), so the
+        // accumulator must forward every row without hashing it.
         let p = tc_plan();
         let tc = p.rel_by_name("tc").unwrap();
         let mut acc = PartialAgg::default();
@@ -698,7 +783,7 @@ mod tests {
             acc.push(&p, tc, Tuple::from_ints(&[1, 2]));
         }
         acc.push(&p, tc, Tuple::from_ints(&[1, 3]));
-        assert_eq!(acc.into_rows().len(), 2);
+        assert_eq!(acc.drain().count(), 6);
     }
 
     #[test]

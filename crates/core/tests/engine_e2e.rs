@@ -436,7 +436,7 @@ fn dws_report_carries_omega_tau_samples() {
     let samples: u64 = rep.total(|w| w.dws_samples.len() as u64 + w.samples_dropped);
     assert!(samples > 0, "DWS must record ω/τ samples");
     let json = rep.to_json();
-    assert!(json.contains("\"schema\": 2"));
+    assert!(json.contains("\"schema\": 3"));
     assert!(json.contains("\"dws_samples\""));
 }
 
@@ -455,4 +455,28 @@ fn queue_backpressure_with_tiny_capacity() {
     e2.load_edges("arc", &edges).unwrap();
     let r2 = e2.run().unwrap();
     assert_eq!(r1.sorted("tc"), r2.sorted("tc"));
+}
+
+#[test]
+fn sent_filter_suppresses_duplicate_sends() {
+    // TC on a cyclic graph derives the same closure row from many delta
+    // rows. With the §6.2 optimizations on, Distribute's sent-filter must
+    // drop exact repeats before they are serialized, so the optimized run
+    // exchanges strictly fewer tuples than the ablation — with an
+    // identical fixpoint.
+    let edges: Vec<(i64, i64)> = (0..240).map(|i| (i % 48, (i * 7 + 1) % 48)).collect();
+    let run = |optimized: bool| {
+        let cfg = EngineConfig::with_workers(4).optimizations(optimized);
+        let mut e = Engine::new(queries::tc().unwrap(), cfg).unwrap();
+        e.load_edges("arc", &edges).unwrap();
+        e.run().unwrap()
+    };
+    let opt = run(true);
+    let abl = run(false);
+    assert_eq!(opt.sorted("tc"), abl.sorted("tc"));
+    let (p_opt, p_abl) = (opt.stats.report.produced, abl.stats.report.produced);
+    assert!(
+        p_opt < p_abl,
+        "optimized run must exchange fewer tuples: {p_opt} vs {p_abl}"
+    );
 }

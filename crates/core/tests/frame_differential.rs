@@ -63,19 +63,42 @@ fn differential(
     for cfg in configs() {
         let name = format!("{} x{}", cfg.strategy.name(), cfg.workers);
         let got = run_once(make(), cfg, load, rels);
-        for ((rel, want), have) in rels.iter().zip(&reference).zip(&got) {
-            if exact {
-                assert_eq!(have, want, "{name}: relation '{rel}' diverged");
-            } else {
-                // Float aggregates (pagerank's sums) are order-sensitive;
-                // compare groups with a tolerance instead of bit equality.
-                assert_eq!(have.len(), want.len(), "{name}: '{rel}' row count");
-                for (a, b) in have.iter().zip(want) {
-                    assert_eq!(a.arity(), b.arity(), "{name}: '{rel}' arity");
-                    for (va, vb) in a.values().iter().zip(b.values()) {
-                        let (fa, fb) = (va.as_f64(), vb.as_f64());
-                        assert!((fa - fb).abs() < 1e-6, "{name}: '{rel}' {a:?} vs {b:?}");
-                    }
+        compare(&name, rels, &reference, &got, exact);
+    }
+    // The batched Iterate kernel is the default above; the legacy
+    // tuple-at-a-time path must reach the same fixpoint. Running it
+    // through the full engine pins `batch_kernel = false` against the
+    // batched reference end to end.
+    for w in [1usize, 4] {
+        let cfg = EngineConfig::with_workers(w).batch_kernel(false);
+        let name = format!("tuple-at-a-time x{w}");
+        let got = run_once(make(), cfg, load, rels);
+        compare(&name, rels, &reference, &got, exact);
+    }
+    // Table-4 ablation path: with the §6.2 optimizations off there is no
+    // merge-side existence cache and no Distribute sent-filter, so every
+    // duplicate derivation travels the exchange and must be rejected by
+    // the idempotent merge alone.
+    let cfg = EngineConfig::with_workers(4).optimizations(false);
+    let got = run_once(make(), cfg, load, rels);
+    compare("unoptimized x4", rels, &reference, &got, exact);
+}
+
+/// Asserts `got` matches `want` relation by relation — bit-exact, or
+/// within a float tolerance for order-sensitive sum aggregates.
+fn compare(name: &str, rels: &[&str], want: &[Vec<Tuple>], got: &[Vec<Tuple>], exact: bool) {
+    for ((rel, want), have) in rels.iter().zip(want).zip(got) {
+        if exact {
+            assert_eq!(have, want, "{name}: relation '{rel}' diverged");
+        } else {
+            // Float aggregates (pagerank's sums) are order-sensitive;
+            // compare groups with a tolerance instead of bit equality.
+            assert_eq!(have.len(), want.len(), "{name}: '{rel}' row count");
+            for (a, b) in have.iter().zip(want) {
+                assert_eq!(a.arity(), b.arity(), "{name}: '{rel}' arity");
+                for (va, vb) in a.values().iter().zip(b.values()) {
+                    let (fa, fb) = (va.as_f64(), vb.as_f64());
+                    assert!((fa - fb).abs() < 1e-6, "{name}: '{rel}' {a:?} vs {b:?}");
                 }
             }
         }

@@ -98,6 +98,10 @@ pub struct MetricsRecorder {
     distribute_ns: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    probe_hits: AtomicU64,
+    probe_reuse: AtomicU64,
+    kernel_batches: AtomicU64,
+    kernel_rows: AtomicU64,
     ring: Mutex<SampleRing>,
 }
 
@@ -144,6 +148,15 @@ pub struct MetricsSnapshot {
     pub cache_hits: u64,
     /// Existence-cache misses across this worker's relation stores.
     pub cache_misses: u64,
+    /// Index descents performed by the batched kernel's first probes.
+    pub probe_hits: u64,
+    /// Batched first probes that reused the previous row's bucket instead
+    /// of descending the index again.
+    pub probe_reuse: u64,
+    /// `(rel, route, rule)` batches the kernel executed.
+    pub kernel_batches: u64,
+    /// Delta rows fed through those batches.
+    pub kernel_rows: u64,
     /// The newest ω/τ samples, chronological.
     pub dws_samples: Vec<DwsSample>,
     /// Older samples overwritten by the ring.
@@ -158,6 +171,16 @@ impl MetricsSnapshot {
             0.0
         } else {
             self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean delta rows per kernel batch (0 when the batched kernel never
+    /// ran, e.g. with `batch_kernel` off).
+    pub fn rows_per_batch(&self) -> f64 {
+        if self.kernel_batches == 0 {
+            0.0
+        } else {
+            self.kernel_rows as f64 / self.kernel_batches as f64
         }
     }
 }
@@ -190,6 +213,10 @@ impl MetricsRecorder {
             distribute_ns: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            probe_hits: AtomicU64::new(0),
+            probe_reuse: AtomicU64::new(0),
+            kernel_batches: AtomicU64::new(0),
+            kernel_rows: AtomicU64::new(0),
             ring: Mutex::new(SampleRing::new(sample_cap)),
         }
     }
@@ -286,6 +313,20 @@ impl MetricsRecorder {
         self.cache_misses.fetch_add(misses, Ordering::Relaxed);
     }
 
+    /// Folds in the batched kernel's probe-memoization counters (called
+    /// once per worker, at the end of the run, from the eval scratch).
+    pub fn record_probes(&self, hits: u64, reuse: u64) {
+        self.probe_hits.fetch_add(hits, Ordering::Relaxed);
+        self.probe_reuse.fetch_add(reuse, Ordering::Relaxed);
+    }
+
+    /// Records one batched-kernel invocation over `rows` delta rows.
+    #[inline]
+    pub fn note_kernel_batch(&self, rows: u64) {
+        self.kernel_batches.fetch_add(1, Ordering::Relaxed);
+        self.kernel_rows.fetch_add(rows, Ordering::Relaxed);
+    }
+
     /// Appends one ω/τ observation to the sample ring.
     pub fn push_sample(&self, sample: DwsSample) {
         self.ring.lock().unwrap().push(sample);
@@ -313,6 +354,10 @@ impl MetricsRecorder {
             distribute_ns: self.distribute_ns.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            probe_hits: self.probe_hits.load(Ordering::Relaxed),
+            probe_reuse: self.probe_reuse.load(Ordering::Relaxed),
+            kernel_batches: self.kernel_batches.load(Ordering::Relaxed),
+            kernel_rows: self.kernel_rows.load(Ordering::Relaxed),
             dws_samples: ring.chronological(),
             samples_dropped: ring.pushed - ring.buf.len() as u64,
         }
@@ -340,6 +385,9 @@ mod tests {
         m.add_iterate(Duration::from_nanos(40));
         m.add_distribute(Duration::from_nanos(50));
         m.record_cache(9, 1);
+        m.record_probes(12, 30);
+        m.note_kernel_batch(8);
+        m.note_kernel_batch(4);
         let s = m.snapshot();
         assert_eq!(s.iterations, 2);
         assert_eq!(s.tuples_processed, 15);
@@ -356,6 +404,9 @@ mod tests {
         assert_eq!(s.distribute_ns, 50);
         assert_eq!((s.cache_hits, s.cache_misses), (9, 1));
         assert!((s.cache_hit_rate() - 0.9).abs() < 1e-12);
+        assert_eq!((s.probe_hits, s.probe_reuse), (12, 30));
+        assert_eq!((s.kernel_batches, s.kernel_rows), (2, 12));
+        assert!((s.rows_per_batch() - 6.0).abs() < 1e-12);
     }
 
     #[test]
@@ -363,6 +414,7 @@ mod tests {
         let s = MetricsRecorder::default().snapshot();
         assert_eq!(s, MetricsSnapshot::default());
         assert_eq!(s.cache_hit_rate(), 0.0);
+        assert_eq!(s.rows_per_batch(), 0.0);
     }
 
     #[test]

@@ -148,7 +148,7 @@ impl AggRelation {
     /// sum/count).
     pub fn merge(&mut self, t: &Tuple) -> MergeOutcome {
         let h = self.group_hash(t);
-        let group = t.project(&(0..self.group_cols).collect::<Vec<_>>());
+        let group = t.prefix(self.group_cols);
         let func = self.func;
         let eps = self.epsilon;
         let bucket = self.index.or_insert_with(h, Vec::new);
@@ -245,9 +245,43 @@ impl AggRelation {
         })
     }
 
+    /// Streaming scan with a *nameable* iterator type (see
+    /// [`SetRelation::scan`](crate::set::SetRelation::scan)); yields the
+    /// same logical rows as [`AggRelation::iter`].
+    pub fn scan(&self) -> AggScan<'_> {
+        AggScan {
+            tree: self.index.iter(),
+            bucket: [].iter(),
+            func: self.func,
+        }
+    }
+
     /// Collects all logical rows.
     pub fn rows(&self) -> Vec<Tuple> {
         self.iter().collect()
+    }
+}
+
+/// Scan over an [`AggRelation`]'s logical rows: each `(group…, state)`
+/// leaf entry is assembled into `(group…, aggregate value)` on the fly.
+pub struct AggScan<'a> {
+    tree: crate::bptree::Iter<'a, Vec<(Tuple, AggState)>>,
+    bucket: std::slice::Iter<'a, (Tuple, AggState)>,
+    func: AggFunc,
+}
+
+impl Iterator for AggScan<'_> {
+    type Item = Tuple;
+
+    #[inline]
+    fn next(&mut self) -> Option<Tuple> {
+        loop {
+            if let Some((g, s)) = self.bucket.next() {
+                return Some(g.concat(&Tuple::new(&[s.value(self.func)])));
+            }
+            let (_, bucket) = self.tree.next()?;
+            self.bucket = bucket.iter();
+        }
     }
 }
 
@@ -381,6 +415,21 @@ mod tests {
             rows,
             vec![Tuple::from_ints(&[1, 5]), Tuple::from_ints(&[2, 20])]
         );
+    }
+
+    #[test]
+    fn scan_agrees_with_iter() {
+        let mut r = AggRelation::new(AggFunc::Min, 1, 0.0);
+        for i in 0..100i64 {
+            r.merge(&Tuple::from_ints(&[i % 13, i]));
+        }
+        let a: Vec<Tuple> = r.iter().collect();
+        let b: Vec<Tuple> = r.scan().collect();
+        assert_eq!(a, b);
+        assert!(AggRelation::new(AggFunc::Min, 1, 0.0)
+            .scan()
+            .next()
+            .is_none());
     }
 
     #[test]

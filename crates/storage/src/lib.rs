@@ -24,8 +24,8 @@ pub mod cache;
 pub mod sealed;
 pub mod set;
 
-pub use aggregate::{AggFunc, AggRelation, AggState};
+pub use aggregate::{AggFunc, AggRelation, AggScan, AggState};
 pub use bptree::BPlusTree;
 pub use cache::{AggCache, TupleCache};
 pub use sealed::{EdbRead, SealedRelation};
-pub use set::SetRelation;
+pub use set::{SetRelation, SetScan};

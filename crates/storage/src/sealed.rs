@@ -65,6 +65,21 @@ impl SealedRelation {
         self.indexes.contains_key(&col)
     }
 
+    /// The raw row-id bucket for `col == key` (empty when the key is
+    /// absent). Callers probing a run of equal keys can hold the bucket
+    /// across rows and resolve ids against [`EdbRead::rows`], skipping the
+    /// repeated index lookup. Panics if no index covers `col` (a planner
+    /// bug, not a user error).
+    #[inline]
+    pub fn probe_ids(&self, col: usize, key: u64) -> &[u32] {
+        self.indexes
+            .get(&col)
+            .expect("probe on unindexed column")
+            .get(&key)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
     /// Approximate resident heap size in bytes: the row storage (including
     /// spilled values) plus every index's buckets. Used by the
     /// observability layer to show that replicated relations are resident
@@ -130,16 +145,9 @@ impl EdbRead for SealedRelation {
 
     #[inline]
     fn probe(&self, col: usize, key: u64) -> EdbProbe<'_> {
-        let ids = self
-            .indexes
-            .get(&col)
-            .expect("probe on unindexed column")
-            .get(&key)
-            .map(|v| v.as_slice())
-            .unwrap_or(&[]);
         EdbProbe {
             rows: &self.rows,
-            ids: ids.iter(),
+            ids: self.probe_ids(col, key).iter(),
         }
     }
 }
@@ -183,6 +191,20 @@ mod tests {
         let r = SealedRelation::build(edges(), &[0, 1]);
         assert_eq!(r.probe(1, Tuple::from_ints(&[0, 3]).key(1)).count(), 2);
         assert_eq!(r.probe(0, Tuple::from_ints(&[3]).key(0)).count(), 1);
+    }
+
+    #[test]
+    fn probe_ids_resolve_to_probe_rows() {
+        let r = SealedRelation::build(edges(), &[0]);
+        let key = Tuple::from_ints(&[1]).key(0);
+        let via_ids: Vec<&Tuple> = r
+            .probe_ids(0, key)
+            .iter()
+            .map(|&i| &r.rows()[i as usize])
+            .collect();
+        let via_probe: Vec<&Tuple> = r.probe(0, key).collect();
+        assert_eq!(via_ids, via_probe);
+        assert!(r.probe_ids(0, 999).is_empty());
     }
 
     #[test]

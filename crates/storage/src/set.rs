@@ -76,6 +76,16 @@ impl SetRelation {
         self.index.iter().flat_map(|(_, bucket)| bucket.iter())
     }
 
+    /// Streaming scan with a *nameable* iterator type, so callers can hold
+    /// it in their own enums (the evaluator's in-place IDB scans). Same
+    /// order as [`SetRelation::iter`].
+    pub fn scan(&self) -> SetScan<'_> {
+        SetScan {
+            tree: self.index.iter(),
+            bucket: [].iter(),
+        }
+    }
+
     /// Drains the relation into a vector (used when collecting final
     /// results from workers).
     pub fn into_rows(self) -> Vec<Tuple> {
@@ -84,6 +94,28 @@ impl SetRelation {
             out.extend(bucket.iter().cloned());
         }
         out
+    }
+}
+
+/// Borrowing scan over a [`SetRelation`]: walks the B+-tree buckets in key
+/// order without materializing anything.
+pub struct SetScan<'a> {
+    tree: crate::bptree::Iter<'a, Vec<Tuple>>,
+    bucket: std::slice::Iter<'a, Tuple>,
+}
+
+impl<'a> Iterator for SetScan<'a> {
+    type Item = &'a Tuple;
+
+    #[inline]
+    fn next(&mut self) -> Option<&'a Tuple> {
+        loop {
+            if let Some(t) = self.bucket.next() {
+                return Some(t);
+            }
+            let (_, bucket) = self.tree.next()?;
+            self.bucket = bucket.iter();
+        }
     }
 }
 
@@ -119,6 +151,18 @@ mod tests {
         }
         assert_eq!(r.iter().count(), 500);
         assert_eq!(r.len(), 500);
+    }
+
+    #[test]
+    fn scan_agrees_with_iter() {
+        let mut r = SetRelation::new(0);
+        for i in 0..200 {
+            r.insert(Tuple::from_ints(&[i % 17, i]));
+        }
+        let a: Vec<Tuple> = r.iter().cloned().collect();
+        let b: Vec<Tuple> = r.scan().cloned().collect();
+        assert_eq!(a, b);
+        assert!(SetRelation::new(0).scan().next().is_none());
     }
 
     #[test]

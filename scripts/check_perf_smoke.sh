@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Perf smoke check: re-times the TC 4-worker anchor workload with the
+# baseline bin (filtered, so only that workload runs) and fails if its
+# median wall time regressed more than 25% against the committed
+# BENCH_baseline.json. This is a coarse gate — a CI container is noisy —
+# meant to catch order-of-magnitude regressions in the Iterate hot path,
+# not single-digit drift.
+#
+# Run from anywhere inside the repo: scripts/check_perf_smoke.sh
+# Pass a prebuilt baseline binary path as $1 to skip the cargo build.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ANCHOR_GROUP="baseline_tc"
+ANCHOR_NAME="rmat256_workers4"
+BUDGET_PCT=125 # new median may be at most 125% of the committed one
+
+BIN="${1:-}"
+if [ -z "$BIN" ]; then
+    export CARGO_NET_OFFLINE=true
+    cargo build --release -p dcd-bench --bin baseline >&2
+    BIN=target/release/baseline
+fi
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+# The baseline bin's records are single-line JSON objects, so the anchor's
+# median is extractable with grep alone (no JSON tooling in CI).
+extract_median() {
+    grep -o "\"group\":\"$ANCHOR_GROUP\",\"name\":\"$ANCHOR_NAME\",\"median_ns\":[0-9]*" "$1" \
+        | grep -o '[0-9]*$' || true
+}
+
+committed=$(extract_median BENCH_baseline.json)
+if [ -z "$committed" ]; then
+    echo "FAIL: anchor $ANCHOR_GROUP/$ANCHOR_NAME missing from BENCH_baseline.json" >&2
+    exit 1
+fi
+
+"$BIN" "$workdir/now.json" "$ANCHOR_GROUP/$ANCHOR_NAME" >&2
+
+current=$(extract_median "$workdir/now.json")
+if [ -z "$current" ]; then
+    echo "FAIL: anchor $ANCHOR_GROUP/$ANCHOR_NAME missing from the fresh run" >&2
+    exit 1
+fi
+
+budget=$((committed * BUDGET_PCT / 100))
+echo "perf smoke: $ANCHOR_GROUP/$ANCHOR_NAME committed=${committed}ns current=${current}ns budget=${budget}ns"
+if [ "$current" -gt "$budget" ]; then
+    echo "perf smoke FAILED: median ${current}ns exceeds ${BUDGET_PCT}% of the committed ${committed}ns" >&2
+    exit 1
+fi
+echo "perf smoke OK: within budget"

@@ -44,7 +44,8 @@ for strategy in global ssp:2 dws; do
                  edb_resident_bytes local_new \
                  backpressure_retries idle_ns omega_wait_ns gather_ns \
                  iterate_ns distribute_ns cache_hits cache_misses \
-                 samples_dropped dws_samples; do
+                 probe_hits probe_reuse kernel_batches kernel_rows \
+                 rows_per_batch samples_dropped dws_samples; do
         if ! grep -q "\"$field\"" "$out"; then
             echo "FAIL($strategy): field \"$field\" missing from $out" >&2
             fail=1
