@@ -102,6 +102,54 @@ fn main() {
         h.annotate_last(coordination_extra(&warm.stats.report));
     }
 
+    // The same TC anchor with event tracing enabled: the traced median
+    // rides in the baseline next to the untraced two-worker entry, and
+    // the `extra` annotation carries the measured overhead percentage so
+    // perf trajectories catch a tracer hot path that grows teeth.
+    let traced_name = "rmat256_workers2_traced";
+    if h.is_selected("baseline_tc", traced_name) {
+        let e = engine_for(&tc, &arcs, EngineConfig::with_workers(2).tracing(true));
+        let warm = e.run().expect("traced tc runs");
+        assert!(
+            !warm.relation("tc").is_empty(),
+            "traced TC produced an empty closure"
+        );
+        h.bench("baseline_tc", traced_name, || {
+            e.run().unwrap();
+        });
+        // Overhead vs the untraced engine, measured with *paired*
+        // interleaved runs (the median of two sequential bench groups
+        // drifts more on a busy machine than the tracer costs; see
+        // benches/trace_overhead.rs).
+        let untraced = engine_for(&tc, &arcs, EngineConfig::with_workers(2));
+        untraced.run().expect("tc runs");
+        let mut ratios: Vec<f64> = (0..5)
+            .map(|_| {
+                let t = std::time::Instant::now();
+                untraced.run().unwrap();
+                let t_off = t.elapsed().as_nanos() as f64;
+                let t = std::time::Instant::now();
+                e.run().unwrap();
+                t.elapsed().as_nanos() as f64 / t_off
+            })
+            .collect();
+        ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let overhead = format!("{:.2}", (ratios[ratios.len() / 2] - 1.0) * 100.0);
+        let events: usize = warm
+            .stats
+            .report
+            .traces
+            .iter()
+            .map(|t| t.events.len())
+            .sum();
+        let mut extra = coordination_extra(&warm.stats.report);
+        extra.truncate(extra.len() - 1); // reopen the object
+        extra.push_str(&format!(
+            r#","trace_events":{events},"trace_overhead_pct":{overhead}}}"#
+        ));
+        h.annotate_last(extra);
+    }
+
     // SG on a small random tree, single- and two-worker. Height 4 keeps
     // the same-generation pair count (quadratic in the widest level) in
     // the tens of thousands, so a sample stays in milliseconds.

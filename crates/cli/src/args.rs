@@ -30,6 +30,9 @@ pub struct Cli {
     /// `--stats-json PATH` writes the per-worker observability report
     /// (`-` = stdout).
     pub stats_json: Option<String>,
+    /// `--trace-json PATH` enables per-worker event tracing and writes
+    /// the Chrome/Perfetto timeline (`-` = stdout).
+    pub trace_json: Option<String>,
 }
 
 /// Subcommands.
@@ -39,11 +42,14 @@ pub enum Command {
     Run,
     /// Print the physical plan and exit.
     Explain,
+    /// Replay the Figure-3 schedule simulator (no program needed).
+    Simulate,
 }
 
 /// Usage text.
 pub const USAGE: &str = "\
 usage: dcdatalog <run|explain> <program.dl> [options]
+       dcdatalog simulate [options]
 
 options:
   --edb NAME=PATH       load a base relation from a delimited file
@@ -58,7 +64,16 @@ options:
   --no-optimizations    disable the aggregate-index and existence-cache
                         optimizations (the paper's Table-4 ablation)
   --stats-json PATH     write the per-worker observability report (counters,
-                        time splits, DWS ω/τ samples) as JSON; '-' = stdout
+                        time splits, DWS ω/τ samples, per-iteration series)
+                        as JSON; '-' = stdout
+  --trace-json PATH     record per-worker phase spans and export a
+                        Chrome/Perfetto timeline (one track per worker plus
+                        the DWS controller); '-' = stdout. With 'simulate',
+                        exports the abstract-tick schedule in the same
+                        schema, so real and simulated runs open side by side
+
+simulate replays the paper's Figure-3 workload through the deterministic
+cost-model simulator under --strategy and prints the schedule summary.
 ";
 
 fn err(msg: impl Into<String>) -> DcdError {
@@ -88,15 +103,19 @@ impl Cli {
         let command = match it.next().map(|s| s.as_str()) {
             Some("run") => Command::Run,
             Some("explain") => Command::Explain,
+            Some("simulate") => Command::Simulate,
             Some("--help") | Some("-h") | None => {
                 return Err(err(USAGE));
             }
             Some(other) => return Err(err(format!("unknown command '{other}'\n{USAGE}"))),
         };
-        let program = it
-            .next()
-            .ok_or_else(|| err(format!("missing program path\n{USAGE}")))?
-            .clone();
+        let program = if command == Command::Simulate {
+            String::new() // the simulator carries its own workload
+        } else {
+            it.next()
+                .ok_or_else(|| err(format!("missing program path\n{USAGE}")))?
+                .clone()
+        };
         let mut cli = Cli {
             command,
             program,
@@ -109,6 +128,7 @@ impl Cli {
             limit: 20,
             optimized: true,
             stats_json: None,
+            trace_json: None,
         };
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> Result<String> {
@@ -166,6 +186,7 @@ impl Cli {
                 }
                 "--no-optimizations" => cli.optimized = false,
                 "--stats-json" => cli.stats_json = Some(value("--stats-json")?),
+                "--trace-json" => cli.trace_json = Some(value("--trace-json")?),
                 other => return Err(err(format!("unknown option '{other}'\n{USAGE}"))),
             }
         }
@@ -217,6 +238,8 @@ mod tests {
             "--no-optimizations",
             "--stats-json",
             "stats.json",
+            "--trace-json",
+            "trace.json",
         ])
         .unwrap();
         assert_eq!(c.edb.len(), 2);
@@ -229,6 +252,17 @@ mod tests {
         assert_eq!(c.limit, 0);
         assert!(!c.optimized);
         assert_eq!(c.stats_json.as_deref(), Some("stats.json"));
+        assert_eq!(c.trace_json.as_deref(), Some("trace.json"));
+    }
+
+    #[test]
+    fn simulate_needs_no_program() {
+        let c = parse(&["simulate", "--strategy", "global"]).unwrap();
+        assert_eq!(c.command, Command::Simulate);
+        assert!(c.program.is_empty());
+        assert_eq!(c.strategy.name(), "Global");
+        let c = parse(&["simulate", "--trace-json", "sim.json"]).unwrap();
+        assert_eq!(c.trace_json.as_deref(), Some("sim.json"));
     }
 
     #[test]

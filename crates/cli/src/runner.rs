@@ -3,12 +3,53 @@
 use crate::args::{Cli, Command};
 use crate::loader::load_file;
 use dcd_common::Result;
+use dcd_runtime::simulator::{figure3_workload, simulate, SimConfig, SimStrategy};
+use dcd_runtime::Strategy;
 use dcdatalog::{Engine, EngineConfig, Program};
 use std::io::Write;
 use std::path::Path;
 
+/// Writes a JSON document to `path` (`-` = the CLI's output stream).
+fn write_json(out: &mut impl Write, path: &str, json: &str, what: &str) -> Result<()> {
+    if path == "-" {
+        let _ = out.write_all(json.as_bytes());
+    } else {
+        std::fs::write(path, json)
+            .map_err(|e| dcd_common::DcdError::Execution(format!("cannot write '{path}': {e}")))?;
+        let _ = writeln!(out, "wrote {what} to {path}");
+    }
+    Ok(())
+}
+
+/// `simulate`: replay the Figure-3 workload through the deterministic
+/// cost-model simulator under the selected strategy.
+fn run_simulate(cli: &Cli, out: &mut impl Write) -> Result<()> {
+    let strat = match cli.strategy {
+        Strategy::Global => SimStrategy::Global,
+        Strategy::Ssp { s } => SimStrategy::Ssp(s as u64),
+        _ => SimStrategy::DwsAuto,
+    };
+    let rep = simulate(&figure3_workload(), &SimConfig::default(), strat);
+    let _ = writeln!(
+        out,
+        "simulated {} schedule of the Figure-3 workload ({} workers):",
+        rep.strategy,
+        rep.iterations.len()
+    );
+    let _ = writeln!(out, "  makespan: {} ticks", rep.makespan);
+    let _ = writeln!(out, "  local iterations per worker: {:?}", rep.iterations);
+    let _ = writeln!(out, "  tuples exchanged: {}", rep.messages);
+    if let Some(path) = &cli.trace_json {
+        write_json(out, path, &rep.trace_json(), "simulated trace")?;
+    }
+    Ok(())
+}
+
 /// Executes the parsed CLI against `out` (stdout in `main`).
 pub fn run_cli(cli: &Cli, out: &mut impl Write) -> Result<()> {
+    if cli.command == Command::Simulate {
+        return run_simulate(cli, out);
+    }
     let src = std::fs::read_to_string(&cli.program).map_err(|e| {
         dcd_common::DcdError::Execution(format!("cannot read '{}': {e}", cli.program))
     })?;
@@ -23,6 +64,7 @@ pub fn run_cli(cli: &Cli, out: &mut impl Write) -> Result<()> {
     cfg.strategy = cli.strategy.clone();
     cfg.timeout = cli.timeout;
     cfg.optimized = cli.optimized;
+    cfg.trace = cli.trace_json.is_some();
 
     let mut engine = Engine::new(program, cfg)?;
     if cli.command == Command::Explain {
@@ -66,15 +108,10 @@ pub fn run_cli(cli: &Cli, out: &mut impl Write) -> Result<()> {
         result.stats.total_sent()
     );
     if let Some(path) = &cli.stats_json {
-        let json = result.stats.report.to_json();
-        if path == "-" {
-            let _ = out.write_all(json.as_bytes());
-        } else {
-            std::fs::write(path, &json).map_err(|e| {
-                dcd_common::DcdError::Execution(format!("cannot write '{path}': {e}"))
-            })?;
-            let _ = writeln!(out, "wrote stats to {path}");
-        }
+        write_json(out, path, &result.stats.report.to_json(), "stats")?;
+    }
+    if let Some(path) = &cli.trace_json {
+        write_json(out, path, &result.stats.report.trace_json(), "trace")?;
     }
     Ok(())
 }
@@ -209,12 +246,14 @@ mod tests {
         let mut out = Vec::new();
         run_cli(&c, &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
-        assert!(text.contains("\"schema\": 3"), "{text}");
+        assert!(text.contains("\"schema\": 4"), "{text}");
         assert!(text.contains("\"per_worker\""), "{text}");
         assert!(text.contains("\"exchanged_bytes\""), "{text}");
         assert!(text.contains("\"edb_resident_bytes\""), "{text}");
         assert!(text.contains("\"probe_hits\""), "{text}");
         assert!(text.contains("\"rows_per_batch\""), "{text}");
+        assert!(text.contains("\"dropped_events\""), "{text}");
+        assert!(text.contains("\"iteration_series\""), "{text}");
         // file variant
         let path = dir.join("stats.json").display().to_string();
         let c = cli(vec![
@@ -229,6 +268,70 @@ mod tests {
         run_cli(&c, &mut out).unwrap();
         let json = std::fs::read_to_string(&path).unwrap();
         assert!(json.contains("\"produced\""), "{json}");
+    }
+
+    #[test]
+    fn trace_json_enables_tracing_and_writes_perfetto_doc() {
+        let dir = tmpdir();
+        let prog = write(
+            &dir,
+            "tc4.dl",
+            "tc(X, Y) <- arc(X, Y).\ntc(X, Y) <- tc(X, Z), arc(Z, Y).\n",
+        );
+        let rows: String = (0..60)
+            .map(|i| format!("{},{}\n", i % 20, (i * 3 + 1) % 20))
+            .collect();
+        let edges = write(&dir, "edges4.csv", &rows);
+        let path = dir.join("trace.json").display().to_string();
+        let c = cli(vec![
+            "run".into(),
+            prog,
+            "--edb".into(),
+            format!("arc={edges}"),
+            "--workers".into(),
+            "2".into(),
+            "--trace-json".into(),
+            path.clone(),
+        ]);
+        let mut out = Vec::new();
+        run_cli(&c, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("wrote trace to"), "{text}");
+        let doc = dcd_common::Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert!(!doc.get("traceEvents").unwrap().items().unwrap().is_empty());
+        assert_eq!(
+            doc.get("otherData").unwrap().get("clock").unwrap().as_str(),
+            Some("ns")
+        );
+    }
+
+    #[test]
+    fn simulate_prints_schedule_and_exports_trace() {
+        let dir = tmpdir();
+        let path = dir.join("sim.json").display().to_string();
+        let c = cli(vec![
+            "simulate".into(),
+            "--strategy".into(),
+            "global".into(),
+            "--trace-json".into(),
+            path.clone(),
+        ]);
+        let mut out = Vec::new();
+        run_cli(&c, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("simulated Global schedule"), "{text}");
+        assert!(text.contains("makespan:"), "{text}");
+        let doc = dcd_common::Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("otherData").unwrap().get("clock").unwrap().as_str(),
+            Some("ticks")
+        );
+        // stdout variant, DWS
+        let c = cli(vec!["simulate".into(), "--trace-json".into(), "-".into()]);
+        let mut out = Vec::new();
+        run_cli(&c, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\"traceEvents\""), "{text}");
     }
 
     #[test]

@@ -1,0 +1,335 @@
+//! A minimal first-party JSON parser (RFC 8259 subset, hermetic — see
+//! DESIGN.md §"Hermetic build").
+//!
+//! The workspace *emits* JSON with hand-rolled formatters; this module is
+//! the read side, used by tests and tooling to validate those documents
+//! (stats reports, Chrome/Perfetto traces) instead of grepping substrings.
+//! Recursive-descent, owns its output, no streaming — documents here are
+//! megabytes at most.
+//!
+//! Numbers are kept as `f64` (every number the workspace emits fits; the
+//! trace/stats counters stay well under 2^53).
+
+use crate::error::{DcdError, Result};
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. `BTreeMap` so iteration order is deterministic.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(src: &str) -> Result<Json> {
+        let mut p = Parser {
+            bytes: src.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(v)
+    }
+
+    /// Member `key` of an object (`None` for other variants/missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The array items (`None` for other variants).
+    pub fn items(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string payload (`None` for other variants).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload (`None` for other variants).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload truncated to `u64` (`None` for other variants
+    /// and negative numbers).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> DcdError {
+        DcdError::Execution(format!("json parse error at byte {}: {msg}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, lit: &str) -> Result<()> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.eat("null").map(|_| Json::Null),
+            Some(b't') => self.eat("true").map(|_| Json::Bool(true)),
+            Some(b'f') => self.eat("false").map(|_| Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json> {
+        self.pos += 1; // [
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json> {
+        self.pos += 1; // {
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(":")?;
+            self.skip_ws();
+            map.insert(key, self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        if self.peek() != Some(b'"') {
+            return Err(self.err("expected string"));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not emitted by this
+                            // workspace; map them to U+FFFD like lone
+                            // surrogates rather than failing the parse.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so the
+                    // byte stream is valid UTF-8).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xc0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("invalid utf-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("bad number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("-1.5e2").unwrap(), Json::Num(-150.0));
+        assert_eq!(
+            Json::parse(r#""a\n\"bA""#).unwrap(),
+            Json::Str("a\n\"bA".into())
+        );
+        let v = Json::parse(r#"{"xs":[1,2,3],"s":"hi","o":{}}"#).unwrap();
+        assert_eq!(v.get("xs").unwrap().items().unwrap().len(), 3);
+        assert_eq!(v.get("s").unwrap().as_str(), Some("hi"));
+        assert_eq!(v.get("o"), Some(&Json::Obj(BTreeMap::new())));
+        assert_eq!(v.get("xs").unwrap().items().unwrap()[2].as_u64(), Some(3));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "", "{", "}", "[1,]", "{\"a\":}", "tru", "\"abc", "1 2", "{'a':1}", "[1] x",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn depth_limit_prevents_stack_overflow() {
+        let deep = "[".repeat(500) + &"]".repeat(500);
+        assert!(Json::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn roundtrips_the_report_shape() {
+        // The exact shape check_stats_json.sh greps for.
+        let doc = r#"{
+  "schema": 4,
+  "per_worker": [
+    {"worker":0,"dropped_events":0,"dws_samples":[{"iteration":2,"omega":8}]}
+  ],
+  "iteration_series": []
+}"#;
+        let v = Json::parse(doc).unwrap();
+        assert_eq!(v.get("schema").unwrap().as_u64(), Some(4));
+        let w0 = &v.get("per_worker").unwrap().items().unwrap()[0];
+        assert_eq!(w0.get("dropped_events").unwrap().as_u64(), Some(0));
+        assert!(v
+            .get("iteration_series")
+            .unwrap()
+            .items()
+            .unwrap()
+            .is_empty());
+    }
+}

@@ -22,10 +22,14 @@
 //! * [`proptest`] — a first-party property-testing harness (generators,
 //!   runner, counterexample shrinking) replacing the external `proptest`
 //!   crate; see DESIGN.md §"Hermetic build".
+//! * [`json`] — a minimal first-party JSON parser, the read side of the
+//!   workspace's hand-rolled emitters (stats reports, trace exports);
+//!   used by tests and tooling to validate those documents.
 
 pub mod error;
 pub mod frame;
 pub mod hash;
+pub mod json;
 pub mod partition;
 pub mod proptest;
 pub mod rng;
@@ -35,6 +39,7 @@ pub mod value;
 
 pub use error::{DcdError, Result};
 pub use frame::Frame;
+pub use json::Json;
 pub use partition::Partitioner;
 pub use tuple::Tuple;
 pub use value::Value;

@@ -36,6 +36,13 @@ pub struct EngineConfig {
     /// When off, delta rows run tuple-at-a-time through `eval_delta` —
     /// the reference path the differential tests compare against.
     pub batch_kernel: bool,
+    /// Record per-worker phase spans and instant marks into bounded ring
+    /// buffers (`dcd_runtime::trace`). Off by default: the tracer then
+    /// compiles down to a branch on a `false` flag per phase.
+    pub trace: bool,
+    /// Events retained per worker ring when tracing; overflow increments
+    /// the worker's `dropped_events` counter instead of reallocating.
+    pub trace_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -54,6 +61,8 @@ impl Default for EngineConfig {
             timeout: None,
             broadcast_routing: false,
             batch_kernel: true,
+            trace: false,
+            trace_capacity: dcd_runtime::trace::DEFAULT_TRACE_CAP,
         }
     }
 }
@@ -84,6 +93,12 @@ impl EngineConfig {
         self.batch_kernel = on;
         self
     }
+
+    /// Convenience: toggle per-worker event tracing.
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -98,6 +113,9 @@ mod tests {
         assert!(c.timeout.is_none());
         assert!(c.batch_kernel, "batched kernel is the default path");
         assert!(!EngineConfig::default().batch_kernel(false).batch_kernel);
+        assert!(!c.trace, "tracing is opt-in");
+        assert!(c.trace_capacity > 0);
+        assert!(EngineConfig::default().tracing(true).trace);
     }
 
     #[test]

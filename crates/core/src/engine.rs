@@ -273,6 +273,12 @@ impl Engine {
             consumed,
             edb_replicated_bytes: catalog.replicated_bytes(),
             per_worker: coord.metrics.iter().map(|m| m.snapshot()).collect(),
+            traces: coord
+                .tracers
+                .iter()
+                .enumerate()
+                .map(|(i, t)| t.take(i))
+                .collect(),
         };
         let relations = self.collect(stores);
         Ok(EvalResult {

@@ -15,10 +15,15 @@
 //! `sum(tuples_sent) == produced` and `sum(tuples_in) == consumed` across
 //! the per-worker recorders. [`EvalReport::reconciles`] checks all four.
 
-use dcd_runtime::MetricsSnapshot;
+use dcd_runtime::trace::{iteration_series, IterationPoint};
+use dcd_runtime::{chrome_trace_json, MetricsSnapshot, TraceMeta, WorkerTrace};
 
 /// Current `schema` field value of the JSON document.
-pub const REPORT_SCHEMA: u32 = 3;
+///
+/// Schema 4 adds the tracing fields: per-worker `dropped_events` (ring
+/// overflow accounting) and the top-level `iteration_series` table
+/// (empty arrays when tracing was disabled).
+pub const REPORT_SCHEMA: u32 = 4;
 
 /// A full per-run observability report.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -40,6 +45,10 @@ pub struct EvalReport {
     pub edb_replicated_bytes: u64,
     /// One snapshot per worker, indexed by worker id.
     pub per_worker: Vec<MetricsSnapshot>,
+    /// One event trace per worker (empty event lists when tracing was
+    /// disabled — the tracers still exist, so overflow accounting and the
+    /// JSON shape stay uniform).
+    pub traces: Vec<WorkerTrace>,
 }
 
 impl EvalReport {
@@ -87,19 +96,67 @@ impl EvalReport {
         }
     }
 
+    /// Events dropped by worker `i`'s trace ring (0 when tracing was off
+    /// or the worker index is out of range).
+    pub fn dropped_events(&self, i: usize) -> u64 {
+        self.traces.get(i).map_or(0, |t| t.dropped)
+    }
+
+    /// The per-iteration time-series table derived from the traces
+    /// (empty when tracing was disabled).
+    pub fn iteration_series(&self) -> Vec<IterationPoint> {
+        iteration_series(&self.traces)
+    }
+
+    /// Serializes the traces as Chrome/Perfetto trace JSON (`"ns"` clock)
+    /// — the document behind the CLI's `--trace-json`.
+    pub fn trace_json(&self) -> String {
+        chrome_trace_json(
+            &self.traces,
+            &TraceMeta {
+                strategy: self.strategy.clone(),
+                workers: self.workers,
+                clock: "ns",
+            },
+        )
+    }
+
     /// Serializes the report as a stable, diffable JSON document.
     pub fn to_json(&self) -> String {
         let workers: Vec<String> = self
             .per_worker
             .iter()
             .enumerate()
-            .map(|(i, w)| format!("    {}", worker_json(i, w)))
+            .map(|(i, w)| format!("    {}", worker_json(i, w, self.dropped_events(i))))
             .collect();
+        let series: Vec<String> = self
+            .iteration_series()
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{\"worker\":{},\"iteration\":{},\"ts\":{},\"rows_in\":{},\
+                     \"rows_out\":{},\"queue_depth\":{},\"omega\":{},\"tau\":{}}}",
+                    p.worker,
+                    p.iteration,
+                    p.ts,
+                    p.rows_in,
+                    p.rows_out,
+                    p.queue_depth,
+                    p.omega,
+                    p.tau
+                )
+            })
+            .collect();
+        let series_json = if series.is_empty() {
+            "[]".to_string()
+        } else {
+            format!("[\n{}\n  ]", series.join(",\n"))
+        };
         format!(
             "{{\n  \"schema\": {},\n  \"strategy\": {},\n  \"workers\": {},\n  \
              \"elapsed_ns\": {},\n  \"produced\": {},\n  \"consumed\": {},\n  \
              \"exchanged_bytes\": {},\n  \"edb_replicated_bytes\": {},\n  \
-             \"per_worker\": [\n{}\n  ]\n}}\n",
+             \"per_worker\": [\n{}\n  ],\n  \"iteration_series\": {}\n}}\n",
             REPORT_SCHEMA,
             json_string(&self.strategy),
             self.workers,
@@ -108,12 +165,13 @@ impl EvalReport {
             self.consumed,
             self.exchanged_bytes(),
             self.edb_replicated_bytes,
-            workers.join(",\n")
+            workers.join(",\n"),
+            series_json
         )
     }
 }
 
-fn worker_json(i: usize, w: &MetricsSnapshot) -> String {
+fn worker_json(i: usize, w: &MetricsSnapshot, dropped_events: u64) -> String {
     let samples: Vec<String> = w
         .dws_samples
         .iter()
@@ -125,7 +183,7 @@ fn worker_json(i: usize, w: &MetricsSnapshot) -> String {
         })
         .collect();
     format!(
-        r#"{{"worker":{},"iterations":{},"tuples_processed":{},"tuples_sent":{},"batches_out":{},"batches_in":{},"tuples_in":{},"bytes_sent":{},"bytes_in":{},"edb_resident_bytes":{},"local_new":{},"backpressure_retries":{},"idle_ns":{},"omega_wait_ns":{},"gather_ns":{},"iterate_ns":{},"distribute_ns":{},"cache_hits":{},"cache_misses":{},"probe_hits":{},"probe_reuse":{},"kernel_batches":{},"kernel_rows":{},"rows_per_batch":{:.3},"samples_dropped":{},"dws_samples":[{}]}}"#,
+        r#"{{"worker":{},"iterations":{},"tuples_processed":{},"tuples_sent":{},"batches_out":{},"batches_in":{},"tuples_in":{},"bytes_sent":{},"bytes_in":{},"edb_resident_bytes":{},"local_new":{},"backpressure_retries":{},"idle_ns":{},"omega_wait_ns":{},"gather_ns":{},"iterate_ns":{},"distribute_ns":{},"cache_hits":{},"cache_misses":{},"probe_hits":{},"probe_reuse":{},"kernel_batches":{},"kernel_rows":{},"rows_per_batch":{:.3},"samples_dropped":{},"dropped_events":{},"dws_samples":[{}]}}"#,
         i,
         w.iterations,
         w.tuples_processed,
@@ -151,6 +209,7 @@ fn worker_json(i: usize, w: &MetricsSnapshot) -> String {
         w.kernel_rows,
         w.rows_per_batch(),
         w.samples_dropped,
+        dropped_events,
         samples.join(",")
     )
 }
@@ -213,6 +272,30 @@ mod tests {
             omega_wait_ns: 200,
             ..MetricsSnapshot::default()
         };
+        use dcd_runtime::trace::{EventKind, Mark, Phase, TraceEvent};
+        let ev = |kind, ts, dur, iteration, aa, bb, cc| TraceEvent {
+            kind,
+            ts,
+            dur,
+            iteration,
+            a: aa,
+            b: bb,
+            c: cc,
+        };
+        let t0 = WorkerTrace {
+            worker: 0,
+            events: vec![
+                ev(EventKind::Span(Phase::EvalDelta), 0, 300, 0, 5, 0, 0),
+                ev(EventKind::Instant(Mark::DwsDecision), 300, 0, 0, 8, 1000, 5),
+                ev(EventKind::Instant(Mark::Iteration), 320, 0, 0, 5, 10, 1),
+            ],
+            dropped: 2,
+        };
+        let t1 = WorkerTrace {
+            worker: 1,
+            events: vec![ev(EventKind::Instant(Mark::Iteration), 150, 0, 0, 4, 4, 0)],
+            dropped: 0,
+        };
         EvalReport {
             strategy: "DWS".into(),
             workers: 2,
@@ -221,6 +304,7 @@ mod tests {
             consumed: 14,
             edb_replicated_bytes: 4096,
             per_worker: vec![a, b],
+            traces: vec![t0, t1],
         }
     }
 
@@ -250,7 +334,7 @@ mod tests {
     fn json_is_wellformed_and_complete() {
         let r = sample_report();
         let json = r.to_json();
-        assert!(json.contains("\"schema\": 3"));
+        assert!(json.contains("\"schema\": 4"));
         assert!(json.contains("\"strategy\": \"DWS\""));
         assert!(json.contains("\"exchanged_bytes\": 224"));
         assert!(json.contains("\"edb_replicated_bytes\": 4096"));
@@ -265,8 +349,48 @@ mod tests {
         assert_eq!(r.exchanged_bytes(), 224);
         assert!(json
             .contains(r#""dws_samples":[{"iteration":2,"omega":8,"tau_ns":1000,"delta_len":5}]"#));
+        assert!(json.contains("\"dropped_events\":2"));
+        assert!(json.contains("\"dropped_events\":0"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn iteration_series_joins_controller_decisions() {
+        let r = sample_report();
+        let series = r.iteration_series();
+        assert_eq!(series.len(), 2);
+        // Ordered by completion time: worker 1's point (ts 150) first.
+        assert_eq!(series[0].worker, 1);
+        assert_eq!(series[0].omega, 0, "no controller decision on worker 1");
+        assert_eq!(series[1].worker, 0);
+        assert_eq!(series[1].rows_in, 5);
+        assert_eq!(series[1].rows_out, 10);
+        assert_eq!(series[1].queue_depth, 1);
+        assert_eq!((series[1].omega, series[1].tau), (8, 1000));
+        let json = r.to_json();
+        assert!(json.contains("\"iteration_series\": [\n"));
+        assert!(json.contains("\"queue_depth\":1"));
+        // Empty-trace reports keep the field with an empty array.
+        assert!(EvalReport::default()
+            .to_json()
+            .contains("\"iteration_series\": []"));
+    }
+
+    #[test]
+    fn trace_json_exports_worker_and_controller_tracks() {
+        let r = sample_report();
+        let json = r.trace_json();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"name\":\"worker 0\""));
+        assert!(json.contains("\"name\":\"worker 1\""));
+        assert!(json.contains("\"name\":\"dws-controller\""));
+        assert!(json.contains("\"name\":\"EvalDelta\""));
+        // The decision instant lands on the controller tid (= workers).
+        assert!(json.contains("\"name\":\"dws-decision\",\"cat\":\"controller\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":2"));
+        assert_eq!(r.dropped_events(0), 2);
+        assert_eq!(r.dropped_events(1), 0);
+        assert_eq!(r.dropped_events(9), 0, "out of range is 0");
     }
 
     #[test]

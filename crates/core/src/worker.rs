@@ -20,9 +20,10 @@ use crate::store::{Merged, WorkerStore};
 use dcd_common::hash::FastMap;
 use dcd_common::{DcdError, Frame, Partitioner, Result, Tuple, WorkerId};
 use dcd_frontend::physical::{PhysicalPlan, RelId};
+use dcd_runtime::trace::{Mark, Phase};
 use dcd_runtime::{
     Batch, BufferMatrix, DwsController, DwsSample, IdleOutcome, MetricsRecorder, RoundBarrier,
-    SspClock, Strategy, Termination, WorkerEndpoints,
+    SspClock, Strategy, Termination, Tracer, WorkerEndpoints,
 };
 use dcd_storage::TupleCache;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -53,6 +54,10 @@ pub struct Coordination {
     pub strata: Vec<StratumCoord>,
     /// Per-worker observability (indexed by worker id).
     pub metrics: Vec<MetricsRecorder>,
+    /// Per-worker event tracers (indexed by worker id). All share one
+    /// epoch `Instant`, so the exported tracks align on a common clock.
+    /// No-ops unless `EngineConfig::trace` is set.
+    pub tracers: Vec<Tracer>,
     /// Error/timeout flag.
     pub abort: AtomicBool,
     /// Wall-clock deadline.
@@ -78,11 +83,21 @@ impl Coordination {
                 ssp: SspClock::new(n, ssp_s),
             })
             .collect();
+        let epoch = Instant::now();
         Coordination {
             buffers: BufferMatrix::new(n, cfg.queue_capacity),
             part: Partitioner::new(n),
             strata,
             metrics: (0..n).map(|_| MetricsRecorder::default()).collect(),
+            tracers: (0..n)
+                .map(|_| {
+                    if cfg.trace {
+                        Tracer::new(cfg.trace_capacity, epoch)
+                    } else {
+                        Tracer::disabled(epoch)
+                    }
+                })
+                .collect(),
             abort: AtomicBool::new(false),
             deadline: cfg.timeout.map(|t| Instant::now() + t),
         }
@@ -244,6 +259,7 @@ pub struct Worker<'a> {
     /// runs.
     sent_filter: Vec<Option<TupleCache>>,
     metrics: &'a MetricsRecorder,
+    tracer: &'a Tracer,
 }
 
 impl<'a> Worker<'a> {
@@ -284,6 +300,7 @@ impl<'a> Worker<'a> {
             scratch: EvalScratch::new(),
             sent_filter,
             metrics: &coord.metrics[me],
+            tracer: &coord.tracers[me],
         }
     }
 
@@ -316,7 +333,9 @@ impl<'a> Worker<'a> {
 
     fn run_stratum(&mut self, si: usize, store: &mut WorkerStore) -> Result<()> {
         let sc = &self.coord.strata[si];
+        let te = Instant::now();
         sc.entry.wait();
+        self.tracer.span(Phase::Idle, te, self.metrics.iterations());
         self.coord.check_deadline()?;
 
         // ---- Init phase: base rules + inline facts ----
@@ -341,7 +360,9 @@ impl<'a> Worker<'a> {
         }
         let mut delta = DeltaSet::new();
         self.distribute(si, store, acc, &mut delta, &mut None)?;
+        let tp = Instant::now();
         sc.post_init.wait();
+        self.tracer.span(Phase::Idle, tp, self.metrics.iterations());
 
         // ---- Fixpoint phase ----
         match &self.cfg.strategy {
@@ -369,13 +390,31 @@ impl<'a> Worker<'a> {
             let tg = Instant::now();
             self.drain(si, store, &mut delta, None);
             self.metrics.add_gather(tg.elapsed());
+            self.tracer
+                .span(Phase::Gather, tg, self.metrics.iterations());
+            let processed = delta.len() as u64;
             let outs = self.iterate(si, store, &mut delta);
             let (local_new, remote_sent) =
                 self.distribute(si, store, outs, &mut delta, &mut None)?;
             let produced = remote_sent + local_new;
+            self.tracer.instant(
+                Mark::Iteration,
+                self.metrics.iterations().saturating_sub(1),
+                processed,
+                local_new + remote_sent,
+                self.coord.buffers.inbound_len(self.me) as u64,
+            );
             let tb = Instant::now();
             let cont = self.coord.strata[si].round.arrive(produced);
             self.metrics.add_idle(tb.elapsed());
+            self.tracer.span(Phase::Idle, tb, self.metrics.iterations());
+            self.tracer.instant(
+                Mark::TerminationRound,
+                self.metrics.iterations(),
+                cont as u64,
+                0,
+                0,
+            );
             if !cont {
                 if self.coord.abort.load(Ordering::SeqCst) {
                     return Err(DcdError::Execution("evaluation aborted".into()));
@@ -400,6 +439,8 @@ impl<'a> Worker<'a> {
             let tg = Instant::now();
             self.drain(si, store, &mut delta, dws.as_mut());
             self.metrics.add_gather(tg.elapsed());
+            self.tracer
+                .span(Phase::Gather, tg, self.metrics.iterations());
 
             if delta.is_empty() {
                 // Local fixpoint: park until new work or global fixpoint.
@@ -409,14 +450,29 @@ impl<'a> Worker<'a> {
                 let ti = Instant::now();
                 let outcome = sc.termination.idle_wait(|| self.endpoints.has_inbound());
                 self.metrics.add_idle(ti.elapsed());
+                self.tracer.span(Phase::Idle, ti, self.metrics.iterations());
                 match outcome {
                     IdleOutcome::Done => {
+                        self.tracer.instant(
+                            Mark::TerminationRound,
+                            self.metrics.iterations(),
+                            0,
+                            0,
+                            0,
+                        );
                         if self.coord.abort.load(Ordering::SeqCst) {
                             return Err(DcdError::Execution("evaluation aborted".into()));
                         }
                         return Ok(());
                     }
                     IdleOutcome::Work => {
+                        self.tracer.instant(
+                            Mark::TerminationRound,
+                            self.metrics.iterations(),
+                            1,
+                            0,
+                            0,
+                        );
                         if is_ssp {
                             sc.ssp.rejoin(self.me);
                         }
@@ -447,6 +503,8 @@ impl<'a> Worker<'a> {
                         }
                     }
                     self.metrics.add_omega_wait(tw.elapsed());
+                    self.tracer
+                        .span(Phase::OmegaWait, tw, self.metrics.iterations());
                 }
                 ctrl.update_params();
                 self.metrics.push_sample(DwsSample {
@@ -455,6 +513,13 @@ impl<'a> Worker<'a> {
                     tau_ns: ctrl.tau().as_nanos() as u64,
                     delta_len: delta.len() as u64,
                 });
+                self.tracer.instant(
+                    Mark::DwsDecision,
+                    self.metrics.iterations(),
+                    ctrl.omega() as u64,
+                    ctrl.tau().as_nanos() as u64,
+                    delta.len() as u64,
+                );
             }
 
             // SSP: stay within `s` iterations of the frontier.
@@ -466,10 +531,18 @@ impl<'a> Worker<'a> {
             let t0 = Instant::now();
             let processed = delta.len();
             let outs = self.iterate(si, store, &mut delta);
-            self.distribute(si, store, outs, &mut delta, &mut dws.as_mut())?;
+            let (local_new, remote_sent) =
+                self.distribute(si, store, outs, &mut delta, &mut dws.as_mut())?;
             if let Some(ctrl) = dws.as_mut() {
                 ctrl.on_iteration(processed, t0.elapsed());
             }
+            self.tracer.instant(
+                Mark::Iteration,
+                self.metrics.iterations().saturating_sub(1),
+                processed as u64,
+                local_new + remote_sent,
+                self.coord.buffers.inbound_len(self.me) as u64,
+            );
             if is_ssp {
                 sc.ssp.advance(self.me);
             }
@@ -510,7 +583,8 @@ impl<'a> Worker<'a> {
         let t0 = Instant::now();
         let stratum = &self.plan.strata[si];
         let mut rows = self.coalesce(delta.take());
-        self.metrics.note_iteration(rows.len() as u64);
+        let nrows = rows.len() as u64;
+        self.metrics.note_iteration(nrows);
         let mut acc = PartialAgg::default();
         if self.cfg.batch_kernel {
             // Cluster the delta by (rel, route): each cluster runs as one
@@ -559,6 +633,14 @@ impl<'a> Worker<'a> {
             }
         }
         self.metrics.add_iterate(t0.elapsed());
+        self.tracer.span_args(
+            Phase::EvalDelta,
+            t0,
+            self.metrics.iterations().saturating_sub(1),
+            nrows,
+            0,
+            0,
+        );
         acc
     }
 
@@ -639,6 +721,7 @@ impl<'a> Worker<'a> {
                     sent_at: Instant::now(),
                     from: self.me,
                 };
+                let mut tbp: Option<Instant> = None;
                 loop {
                     match self.endpoints.send(dest, batch) {
                         Ok(()) => break,
@@ -647,16 +730,33 @@ impl<'a> Worker<'a> {
                             if self.coord.abort.load(Ordering::SeqCst) {
                                 return Err(DcdError::Execution("evaluation aborted".into()));
                             }
+                            if self.tracer.is_enabled() && tbp.is_none() {
+                                tbp = Some(Instant::now());
+                            }
                             self.metrics.note_backpressure_retry();
                             self.drain_into(si, store, delta, dws);
                             std::thread::yield_now();
                         }
                     }
                 }
+                if let Some(t) = tbp {
+                    // One span per batch that hit a full queue, covering
+                    // the whole retry window (nests inside Distribute).
+                    self.tracer
+                        .span(Phase::Backpressure, t, self.metrics.iterations());
+                }
             }
         }
         self.metrics.note_local_new(local_new);
         self.metrics.add_distribute(t0.elapsed());
+        self.tracer.span_args(
+            Phase::Distribute,
+            t0,
+            self.metrics.iterations().saturating_sub(1),
+            local_new,
+            remote_sent,
+            0,
+        );
         Ok((local_new, remote_sent))
     }
 
@@ -709,6 +809,8 @@ impl<'a> Worker<'a> {
         dws: &mut Option<&mut DwsController>,
     ) {
         let termination = &self.coord.strata[si].termination;
+        let tm = self.tracer.is_enabled().then(Instant::now);
+        let mut batches = 0u64;
         let mut new = 0u64;
         for j in 0..self.cfg.workers {
             while let Some(batch) = self.endpoints.recv(j) {
@@ -717,6 +819,7 @@ impl<'a> Worker<'a> {
                 if let Some(ctrl) = dws.as_deref_mut() {
                     ctrl.on_batch(batch.from, batch.len(), batch.sent_at);
                 }
+                batches += 1;
                 let rel = batch.rel as usize;
                 for i in 0..batch.frame.len() {
                     new += self.merge_local(store, rel, &batch.frame.tuple(i), delta);
@@ -725,6 +828,14 @@ impl<'a> Worker<'a> {
             }
         }
         self.metrics.note_local_new(new);
+        if batches > 0 {
+            if let Some(tm) = tm {
+                // Nested inside whichever phase drained: Gather, ω-wait
+                // or a backpressure retry.
+                self.tracer
+                    .span_args(Phase::Merge, tm, self.metrics.iterations(), batches, new, 0);
+            }
+        }
     }
 }
 

@@ -436,7 +436,7 @@ fn dws_report_carries_omega_tau_samples() {
     let samples: u64 = rep.total(|w| w.dws_samples.len() as u64 + w.samples_dropped);
     assert!(samples > 0, "DWS must record ω/τ samples");
     let json = rep.to_json();
-    assert!(json.contains("\"schema\": 3"));
+    assert!(json.contains("\"schema\": 4"));
     assert!(json.contains("\"dws_samples\""));
 }
 

@@ -21,6 +21,10 @@
 //! * [`strategy`] — strategy selection shared by the engine and benches.
 //! * [`simulator`] — a deterministic discrete-event replay of the three
 //!   coordination schedules (reproduces Figure 3 in abstract time units).
+//! * [`trace`] — the per-worker event tracer: bounded ring of phase
+//!   spans and instant marks on a run-relative clock, exported as
+//!   Chrome/Perfetto trace JSON; the simulator emits the same schema in
+//!   abstract ticks.
 
 pub mod barrier;
 pub mod buffers;
@@ -32,6 +36,7 @@ pub mod spsc;
 pub mod ssp;
 pub mod strategy;
 pub mod termination;
+pub mod trace;
 
 pub use barrier::RoundBarrier;
 pub use buffers::{Batch, BufferMatrix, WorkerEndpoints};
@@ -42,3 +47,4 @@ pub use spsc::SpscQueue;
 pub use ssp::SspClock;
 pub use strategy::Strategy;
 pub use termination::{IdleOutcome, Termination};
+pub use trace::{chrome_trace_json, IterationPoint, TraceEvent, TraceMeta, Tracer, WorkerTrace};

@@ -11,10 +11,43 @@
 //! * scanning one adjacency entry during a local iteration,
 //! * a fixed per-iteration overhead,
 //! * per-source coordination cost when draining remote batches.
+//!
+//! Every simulated run also records a [`WorkerTrace`] per worker in the
+//! *same* event schema as the real engine's tracer ([`crate::trace`]),
+//! with abstract ticks in place of nanoseconds — so a simulated schedule
+//! and a real `--trace-json` run open side-by-side in Perfetto
+//! ([`SimReport::trace_json`]).
 
+use crate::trace::{chrome_trace_json, EventKind, Mark, Phase, TraceEvent, TraceMeta, WorkerTrace};
 use dcd_common::hash::FastMap;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// A span event on the simulator's tick clock.
+fn span_ev(phase: Phase, ts: u64, dur: u64, iteration: u64) -> TraceEvent {
+    TraceEvent {
+        kind: EventKind::Span(phase),
+        ts,
+        dur,
+        iteration,
+        a: 0,
+        b: 0,
+        c: 0,
+    }
+}
+
+/// An instant mark on the simulator's tick clock.
+fn mark_ev(mark: Mark, ts: u64, iteration: u64, a: u64, b: u64, c: u64) -> TraceEvent {
+    TraceEvent {
+        kind: EventKind::Instant(mark),
+        ts,
+        dur: 0,
+        iteration,
+        a,
+        b,
+        c,
+    }
+}
 
 /// Strategy variants understood by the simulator. DWS uses static
 /// `(omega, tau)` so runs stay deterministic.
@@ -146,6 +179,28 @@ pub struct SimReport {
     pub messages: u64,
     /// Final vertex → component-label assignment.
     pub labels: FastMap<u64, u64>,
+    /// Strategy display name (for the trace export).
+    pub strategy: &'static str,
+    /// Per-worker schedule traces on the abstract tick clock — same
+    /// event schema as the engine's tracer.
+    pub traces: Vec<WorkerTrace>,
+}
+
+impl SimReport {
+    /// Serializes the simulated schedule as Chrome/Perfetto trace JSON —
+    /// identical in shape to [`crate::trace::chrome_trace_json`] output
+    /// for a real run, with `"clock": "ticks"` (one tick renders as one
+    /// microsecond).
+    pub fn trace_json(&self) -> String {
+        chrome_trace_json(
+            &self.traces,
+            &TraceMeta {
+                strategy: self.strategy.to_string(),
+                workers: self.iterations.len(),
+                clock: "ticks",
+            },
+        )
+    }
 }
 
 /// The simulated workload: weighted label-propagation edges plus an
@@ -231,10 +286,15 @@ struct WorkerSim {
     free_at: u64,
     /// DWS: deadline after which we stop waiting for more tuples.
     wait_deadline: Option<u64>,
+    /// DWS: tick at which the current ω-wait window opened (for the
+    /// OmegaWait span once the worker proceeds).
+    wait_started: Option<u64>,
     /// Previous iteration's delta size (DwsAuto ω calibration).
     prev_processed: usize,
     /// Previous iteration's duration in ticks (DwsAuto τ calibration).
     prev_cost: u64,
+    /// Schedule trace on the tick clock (same schema as the engine's).
+    events: Vec<TraceEvent>,
 }
 
 impl WorkerSim {
@@ -285,8 +345,10 @@ fn build_workers(w: &SimWorkload) -> Vec<WorkerSim> {
             iterations: 0,
             free_at: 0,
             wait_deadline: None,
+            wait_started: None,
             prev_processed: 0,
             prev_cost: 0,
+            events: Vec::new(),
         })
         .collect();
     // Base rule: seed labels (every vertex for CC, the source for SSSP).
@@ -341,28 +403,62 @@ fn simulate_global(w: &SimWorkload, cfg: &SimConfig) -> SimReport {
     loop {
         // Run one global iteration: every active worker does one local
         // iteration; the round lasts as long as the slowest.
+        let round_start = t;
         let mut round_max = 0u64;
         let mut outputs: Vec<Vec<Vec<(u64, u64)>>> = Vec::with_capacity(workers.len());
+        let mut costs: Vec<u64> = Vec::with_capacity(workers.len());
         let mut any_active = false;
-        for wk in workers.iter_mut() {
+        for (i, wk) in workers.iter_mut().enumerate() {
             if wk.delta.is_empty() {
                 outputs.push(vec![Vec::new(); w.workers]);
+                costs.push(0);
                 continue;
             }
             any_active = true;
             let iter_no = wk.iterations;
+            let processed = wk.delta.len() as u64;
             let (cost, out) = run_iteration(wk, &w.owner, cfg, w.workers);
-            let cost = cfg.straggle(outputs.len(), iter_no, cost);
+            let cost = cfg.straggle(i, iter_no, cost);
             round_max = round_max.max(cost);
+            let sent: u64 = out
+                .iter()
+                .enumerate()
+                .filter(|(d, _)| *d != i)
+                .map(|(_, m)| m.len() as u64)
+                .sum();
+            wk.events
+                .push(span_ev(Phase::EvalDelta, round_start, cost, iter_no));
+            wk.events.push(mark_ev(
+                Mark::Iteration,
+                round_start + cost,
+                iter_no,
+                processed,
+                sent,
+                0,
+            ));
             outputs.push(out);
+            costs.push(cost);
         }
         if !any_active {
             break;
         }
         t += round_max;
+        // The barrier amplifies every straggler: everyone who finished
+        // early idles until the slowest worker's iteration ends.
+        for (i, wk) in workers.iter_mut().enumerate() {
+            if costs[i] < round_max {
+                wk.events.push(span_ev(
+                    Phase::Idle,
+                    round_start + costs[i],
+                    round_max - costs[i],
+                    wk.iterations,
+                ));
+            }
+        }
         // Coordination: everyone exchanges with everyone under the global
         // lock — a share of the per-tuple merge work serializes across
         // workers (§6.1), the rest overlaps.
+        let coord_start = t;
         let mut serialized = 0u64;
         let mut concurrent_max = 0u64;
         for (dst, wk) in workers.iter_mut().enumerate() {
@@ -378,17 +474,32 @@ fn simulate_global(w: &SimWorkload, cfg: &SimConfig) -> SimReport {
                 }
                 wk.merge(msgs);
             }
+            if mine > 0 {
+                wk.events
+                    .push(span_ev(Phase::Merge, coord_start, mine, wk.iterations));
+            }
             let (serial, conc) = cfg.split_locked_merge(mine);
             serialized += serial;
             concurrent_max = concurrent_max.max(conc);
         }
         t += cfg.barrier_cost + serialized + concurrent_max;
+        for wk in workers.iter_mut() {
+            wk.events
+                .push(mark_ev(Mark::TerminationRound, t, wk.iterations, 1, 0, 0));
+        }
+    }
+    // The all-zero round: every worker observes global fixpoint.
+    for wk in workers.iter_mut() {
+        wk.events
+            .push(mark_ev(Mark::TerminationRound, t, wk.iterations, 0, 0, 0));
     }
     SimReport {
         makespan: t,
         iterations: workers.iter().map(|w| w.iterations).collect(),
         messages,
         labels: collect_labels(&workers),
+        strategy: "Global",
+        traces: collect_traces(&mut workers),
     }
 }
 
@@ -418,6 +529,7 @@ fn simulate_async(w: &SimWorkload, cfg: &SimConfig, strat: SimStrategy) -> SimRe
         // serializes on the global lock for SSP.
         let (_sources, tuples) = workers[me].drain(now);
         let merge_ticks = cfg.merge_cost * tuples as u64;
+        let merge_start = now;
         let mut now = if locked && merge_ticks > 0 {
             let (serial, conc) = cfg.split_locked_merge(merge_ticks);
             let start = now.max(lock_free_at);
@@ -426,6 +538,12 @@ fn simulate_async(w: &SimWorkload, cfg: &SimConfig, strat: SimStrategy) -> SimRe
         } else {
             now + merge_ticks
         };
+        if tuples > 0 && now > merge_start {
+            let it = workers[me].iterations;
+            workers[me]
+                .events
+                .push(span_ev(Phase::Merge, merge_start, now - merge_start, it));
+        }
 
         if workers[me].delta.is_empty() {
             if let Some(at) = workers[me].next_arrival() {
@@ -454,6 +572,7 @@ fn simulate_async(w: &SimWorkload, cfg: &SimConfig, strat: SimStrategy) -> SimRe
                 match workers[me].wait_deadline {
                     None => {
                         workers[me].wait_deadline = Some(now + tau);
+                        workers[me].wait_started = Some(now);
                         let wake = workers[me]
                             .next_arrival()
                             .map_or(now + tau, |a| a.min(now + tau));
@@ -474,6 +593,16 @@ fn simulate_async(w: &SimWorkload, cfg: &SimConfig, strat: SimStrategy) -> SimRe
                 }
             } else {
                 workers[me].wait_deadline = None;
+            }
+        }
+        // The ω-wait window closes the moment we proceed (either the delta
+        // grew past ω or τ expired) — record it as a span.
+        if let Some(ws) = workers[me].wait_started.take() {
+            if now > ws {
+                let it = workers[me].iterations;
+                workers[me]
+                    .events
+                    .push(span_ev(Phase::OmegaWait, ws, now - ws, it));
             }
         }
         // SSP staleness bound: may not run more than `s` iterations ahead
@@ -497,6 +626,7 @@ fn simulate_async(w: &SimWorkload, cfg: &SimConfig, strat: SimStrategy) -> SimRe
         // Run one local iteration.
         let processed = workers[me].delta.len();
         let iter_no = workers[me].iterations;
+        let iter_start = now;
         let (base_cost, out) = run_iteration(&mut workers[me], &w.owner, cfg, n);
         let cost = cfg.straggle(me, iter_no, base_cost);
         workers[me].prev_processed = processed;
@@ -507,6 +637,12 @@ fn simulate_async(w: &SimWorkload, cfg: &SimConfig, strat: SimStrategy) -> SimRe
         now += cost;
         workers[me].free_at = now;
         makespan = makespan.max(now);
+        let sent: u64 = out
+            .iter()
+            .enumerate()
+            .filter(|(d, _)| *d != me)
+            .map(|(_, m)| m.len() as u64)
+            .sum();
         // Deliver: local merges immediately, remote at completion time.
         for (dst, msgs) in out.into_iter().enumerate() {
             if msgs.is_empty() {
@@ -524,16 +660,77 @@ fn simulate_async(w: &SimWorkload, cfg: &SimConfig, strat: SimStrategy) -> SimRe
                 }
             }
         }
+        workers[me]
+            .events
+            .push(span_ev(Phase::EvalDelta, iter_start, cost, iter_no));
+        let depth = workers[me].inbox.len() as u64;
+        workers[me].events.push(mark_ev(
+            Mark::Iteration,
+            now,
+            iter_no,
+            processed as u64,
+            sent,
+            depth,
+        ));
+        if matches!(strat, SimStrategy::Dws { .. } | SimStrategy::DwsAuto) {
+            // The controller re-estimates (ω, τ) after each iteration; the
+            // simulator's stand-in is the static pair or the half-previous
+            // calibration.
+            let (omega_next, tau_next) = match strat {
+                SimStrategy::Dws { omega, tau } => (omega as u64, tau),
+                _ => ((processed / 2) as u64, (base_cost / 2).max(1)),
+            };
+            let pending = workers[me].delta.len() as u64;
+            workers[me].events.push(mark_ev(
+                Mark::DwsDecision,
+                now,
+                iter_no,
+                omega_next,
+                tau_next,
+                pending,
+            ));
+        }
         // Schedule own next step.
         heap.push(Reverse((now, seq, me)));
         seq += 1;
+    }
+    // Quiescence: every worker observes the empty-system fixpoint.
+    for wk in workers.iter_mut() {
+        wk.events.push(mark_ev(
+            Mark::TerminationRound,
+            makespan,
+            wk.iterations,
+            0,
+            0,
+            0,
+        ));
     }
     SimReport {
         makespan,
         iterations: workers.iter().map(|w| w.iterations).collect(),
         messages,
         labels: collect_labels(&workers),
+        strategy: strat.name(),
+        traces: collect_traces(&mut workers),
     }
+}
+
+/// Moves each worker's event log into a [`WorkerTrace`], sorted by start
+/// tick (the simulator never drops events: `dropped == 0`).
+fn collect_traces(workers: &mut [WorkerSim]) -> Vec<WorkerTrace> {
+    workers
+        .iter_mut()
+        .enumerate()
+        .map(|(i, wk)| {
+            let mut events = std::mem::take(&mut wk.events);
+            events.sort_by_key(|e| (e.ts, e.end()));
+            WorkerTrace {
+                worker: i,
+                events,
+                dropped: 0,
+            }
+        })
+        .collect()
 }
 
 fn collect_labels(workers: &[WorkerSim]) -> FastMap<u64, u64> {
@@ -736,6 +933,51 @@ mod tests {
                 None => expected = Some(labels),
                 Some(e) => assert_eq!(e, &labels, "{}", strat.name()),
             }
+        }
+    }
+
+    #[test]
+    fn simulated_traces_carry_the_engine_schema() {
+        let w = figure3_workload();
+        let cfg = SimConfig::default();
+        for strat in [
+            SimStrategy::Global,
+            SimStrategy::Ssp(1),
+            SimStrategy::Dws { omega: 4, tau: 3 },
+        ] {
+            let r = simulate(&w, &cfg, strat);
+            assert_eq!(r.traces.len(), w.workers, "{}", strat.name());
+            for tr in &r.traces {
+                assert_eq!(tr.dropped, 0);
+                for pair in tr.events.windows(2) {
+                    assert!(pair[0].ts <= pair[1].ts, "start ticks must be monotone");
+                }
+                for ev in &tr.events {
+                    assert!(ev.end() <= r.makespan, "event past the makespan");
+                }
+                // One Iteration instant per local iteration, numbered 0..n.
+                let iters: Vec<u64> = tr
+                    .events
+                    .iter()
+                    .filter(|e| matches!(e.kind, EventKind::Instant(Mark::Iteration)))
+                    .map(|e| e.iteration)
+                    .collect();
+                assert_eq!(iters.len() as u64, r.iterations[tr.worker]);
+                assert_eq!(iters, (0..iters.len() as u64).collect::<Vec<_>>());
+            }
+            if matches!(strat, SimStrategy::Dws { .. }) {
+                let decisions = r
+                    .traces
+                    .iter()
+                    .flat_map(|t| &t.events)
+                    .filter(|e| matches!(e.kind, EventKind::Instant(Mark::DwsDecision)))
+                    .count();
+                assert!(decisions > 0, "DWS runs must log controller decisions");
+            }
+            let json = r.trace_json();
+            assert!(json.contains("\"traceEvents\""));
+            assert!(json.contains("\"clock\": \"ticks\""));
+            assert!(json.contains(strat.name()));
         }
     }
 

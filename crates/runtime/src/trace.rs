@@ -1,0 +1,676 @@
+//! Per-worker event tracing: the temporal companion to [`crate::metrics`].
+//!
+//! The aggregate counters of the observability layer (DESIGN.md §6) say
+//! *how much* time each worker spent in each phase; they cannot say
+//! *when*. Diagnosing a slow run — which worker stalled, in which phase,
+//! at which iteration, how the DWS controller's ω-wait decisions actually
+//! interleaved — needs a timeline: exactly the schedule structure the
+//! paper's Figure 3 reasons about. This module records one, cheaply:
+//!
+//! * [`Tracer`] — a per-worker, fixed-capacity event buffer. The worker
+//!   thread is the only writer; recording an event is one uncontended
+//!   mutex acquire plus a `Vec` write into preallocated storage
+//!   (allocation-free on the hot path). When the buffer is full, further
+//!   events bump a relaxed-atomic drop counter instead of growing — a
+//!   truncated trace is *detectable* (the count is surfaced per worker in
+//!   the `EvalReport`) rather than silently misleading.
+//! * [`TraceEvent`] — a fixed-size record: phase spans (Gather,
+//!   EvalDelta, Distribute, Merge, ω-wait, backpressure, idle) and
+//!   instant marks (iteration boundaries, DWS controller decisions,
+//!   termination-detection rounds), stamped with a run-relative
+//!   monotonic clock and the worker's local iteration counter.
+//! * [`chrome_trace_json`] — serializes traces in the Chrome
+//!   trace-event format, which Perfetto (`ui.perfetto.dev`) loads
+//!   directly: one track per worker plus one for the DWS controller.
+//!   The deterministic simulator emits the *same* schema in abstract
+//!   time units, so a real DWS run and its simulated schedule open
+//!   side-by-side in the same viewer.
+//! * [`iteration_series`] — folds a trace into a per-iteration
+//!   time-series table (delta rows in/out, queue depth, ω/τ estimates)
+//!   for convergence-curve analysis; embedded in the schema-4 stats
+//!   JSON.
+//!
+//! Clock domain: all workers of one evaluation share a single epoch
+//! (`Instant` taken when the coordination state is built), so their
+//! tracks align. Spans are recorded at *completion* (one event per
+//! phase, not begin/end pairs), which means buffer order is sorted by
+//! span **end** time; a nested span (e.g. a Merge inside an ω-wait)
+//! precedes its parent in the buffer. Spans on one track are always
+//! either disjoint or properly nested — never partially overlapping.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Version stamp of the trace schema (the JSON export carries it).
+pub const TRACE_SCHEMA: u32 = 1;
+
+/// Default per-worker event capacity (events are 64 bytes, so this is
+/// 4 MiB per worker — roomy for hundreds of thousands of iterations).
+pub const DEFAULT_TRACE_CAP: usize = 1 << 16;
+
+/// Worker-loop phases that appear as spans on a worker's track.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Phase {
+    /// Draining inbound queues at the top of the loop.
+    Gather,
+    /// Evaluating delta rules (the Iterate operator).
+    EvalDelta,
+    /// Routing/staging/flushing derived tuples.
+    Distribute,
+    /// Merging a burst of inbound batches into the local stores
+    /// (nested inside Gather, ω-wait or Backpressure).
+    Merge,
+    /// The DWS ω-wait window (Algorithm 2, lines 5–8).
+    OmegaWait,
+    /// A full-queue retry while flushing an outgoing batch (nested
+    /// inside Distribute).
+    Backpressure,
+    /// Parked: stratum-entry barrier, the Global round barrier, or the
+    /// idle/termination protocol.
+    Idle,
+}
+
+impl Phase {
+    /// Track-label for the exporter.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Gather => "Gather",
+            Phase::EvalDelta => "EvalDelta",
+            Phase::Distribute => "Distribute",
+            Phase::Merge => "Merge",
+            Phase::OmegaWait => "OmegaWait",
+            Phase::Backpressure => "Backpressure",
+            Phase::Idle => "Idle",
+        }
+    }
+}
+
+/// Instant (zero-duration) marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Mark {
+    /// One local iteration completed. `a` = delta rows in, `b` = rows
+    /// produced (local merges + remote sends), `c` = inbound queue depth
+    /// (batches) at the boundary.
+    Iteration,
+    /// The DWS controller updated its parameters. `a` = ω, `b` = τ in
+    /// clock units, `c` = pending delta size at the decision.
+    DwsDecision,
+    /// A termination-detection round resolved. `a` = 1 when the worker
+    /// continues, 0 when the protocol declared global fixpoint.
+    TerminationRound,
+}
+
+impl Mark {
+    /// Event-name label for the exporter.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mark::Iteration => "iteration",
+            Mark::DwsDecision => "dws-decision",
+            Mark::TerminationRound => "termination-round",
+        }
+    }
+}
+
+/// Span or instant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A phase with a duration.
+    Span(Phase),
+    /// A zero-duration mark.
+    Instant(Mark),
+}
+
+/// One fixed-size trace record. Clock units are nanoseconds for the real
+/// engine and abstract ticks for the simulator; both are run-relative.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// What happened.
+    pub kind: EventKind,
+    /// Start time, relative to the run epoch.
+    pub ts: u64,
+    /// Duration (0 for instants).
+    pub dur: u64,
+    /// The worker's local iteration counter when the event was recorded.
+    pub iteration: u64,
+    /// Kind-specific argument (see [`Mark`]).
+    pub a: u64,
+    /// Kind-specific argument.
+    pub b: u64,
+    /// Kind-specific argument.
+    pub c: u64,
+}
+
+impl TraceEvent {
+    /// End time (`ts + dur`).
+    #[inline]
+    pub fn end(&self) -> u64 {
+        self.ts + self.dur
+    }
+}
+
+/// One worker's collected trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerTrace {
+    /// Worker id (track id in the export).
+    pub worker: usize,
+    /// Events in recording order (sorted by span **end** time).
+    pub events: Vec<TraceEvent>,
+    /// Events discarded because the ring was full — a non-zero value
+    /// means the timeline is truncated and downstream analysis must not
+    /// treat it as complete.
+    pub dropped: u64,
+}
+
+impl WorkerTrace {
+    /// Fraction of `[first ts, last end]` covered by *top-level* spans
+    /// (nested spans are contained in their parents and would double
+    /// count). 0.0 for an empty trace.
+    pub fn span_coverage(&self) -> f64 {
+        let spans: Vec<&TraceEvent> = self
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Span(_)))
+            .collect();
+        if spans.is_empty() {
+            return 0.0;
+        }
+        let lo = spans.iter().map(|e| e.ts).min().expect("non-empty");
+        let hi = spans.iter().map(|e| e.end()).max().expect("non-empty");
+        if hi == lo {
+            return 1.0;
+        }
+        // Merge intervals (sorted by start) so nesting does not double
+        // count.
+        let mut ivals: Vec<(u64, u64)> = spans.iter().map(|e| (e.ts, e.end())).collect();
+        ivals.sort_unstable();
+        let mut covered = 0u64;
+        let mut cur = (ivals[0].0, ivals[0].0);
+        for (s, e) in ivals {
+            if s > cur.1 {
+                covered += cur.1 - cur.0;
+                cur = (s, e);
+            } else {
+                cur.1 = cur.1.max(e);
+            }
+        }
+        covered += cur.1 - cur.0;
+        covered as f64 / (hi - lo) as f64
+    }
+}
+
+/// The bounded event buffer behind a [`Tracer`].
+struct TraceRing {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+}
+
+/// Per-worker event recorder. One exists per worker (indexed like
+/// [`crate::MetricsRecorder`] in the engine's coordination state); the
+/// worker thread is the only writer. A disabled tracer keeps no storage
+/// and every record call is a single branch.
+pub struct Tracer {
+    enabled: bool,
+    epoch: Instant,
+    ring: Mutex<TraceRing>,
+    dropped: AtomicU64,
+}
+
+impl Tracer {
+    /// An enabled tracer holding up to `cap` events (preallocated — the
+    /// record path never allocates).
+    pub fn new(cap: usize, epoch: Instant) -> Self {
+        let cap = cap.max(1);
+        Tracer {
+            enabled: true,
+            epoch,
+            ring: Mutex::new(TraceRing {
+                buf: Vec::with_capacity(cap),
+                cap,
+            }),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// A disabled tracer: no storage, every record call is a no-op.
+    pub fn disabled(epoch: Instant) -> Self {
+        Tracer {
+            enabled: false,
+            epoch,
+            ring: Mutex::new(TraceRing {
+                buf: Vec::new(),
+                cap: 0,
+            }),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether events are being recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Nanoseconds of `at` relative to the run epoch.
+    #[inline]
+    fn rel(&self, at: Instant) -> u64 {
+        at.saturating_duration_since(self.epoch).as_nanos() as u64
+    }
+
+    /// Records a phase span that started at `started` and ends now.
+    #[inline]
+    pub fn span(&self, phase: Phase, started: Instant, iteration: u64) {
+        self.span_args(phase, started, iteration, 0, 0, 0);
+    }
+
+    /// Records a phase span with kind-specific arguments.
+    #[inline]
+    pub fn span_args(
+        &self,
+        phase: Phase,
+        started: Instant,
+        iteration: u64,
+        a: u64,
+        b: u64,
+        c: u64,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let ts = self.rel(started);
+        let end = self.rel(Instant::now());
+        self.push(TraceEvent {
+            kind: EventKind::Span(phase),
+            ts,
+            dur: end.saturating_sub(ts),
+            iteration,
+            a,
+            b,
+            c,
+        });
+    }
+
+    /// Records an instant mark stamped now.
+    #[inline]
+    pub fn instant(&self, mark: Mark, iteration: u64, a: u64, b: u64, c: u64) {
+        if !self.enabled {
+            return;
+        }
+        let ts = self.rel(Instant::now());
+        self.push(TraceEvent {
+            kind: EventKind::Instant(mark),
+            ts,
+            dur: 0,
+            iteration,
+            a,
+            b,
+            c,
+        });
+    }
+
+    fn push(&self, ev: TraceEvent) {
+        let mut ring = self.ring.lock().unwrap();
+        if ring.buf.len() < ring.cap {
+            ring.buf.push(ev);
+        } else {
+            // Keep the oldest events: a trace truncated at the tail is a
+            // coherent prefix of the schedule; the drop count says how
+            // much is missing.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Events recorded so far (cheap length probe for tests/benches).
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().buf.len()
+    }
+
+    /// Whether no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events dropped on a full ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Drains the buffer into a [`WorkerTrace`] for worker `worker`.
+    pub fn take(&self, worker: usize) -> WorkerTrace {
+        WorkerTrace {
+            worker,
+            events: std::mem::take(&mut self.ring.lock().unwrap().buf),
+            dropped: self.dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Run-level context for the JSON export.
+#[derive(Clone, Debug)]
+pub struct TraceMeta {
+    /// Strategy name (`"Global"`, `"SSP"`, `"DWS"`).
+    pub strategy: String,
+    /// Number of worker tracks.
+    pub workers: usize,
+    /// Clock domain: `"ns"` (real engine) or `"ticks"` (simulator).
+    pub clock: &'static str,
+}
+
+/// One row of the per-iteration time-series table: the convergence curve
+/// of a run, one point per (worker, local iteration).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IterationPoint {
+    /// Worker id.
+    pub worker: usize,
+    /// Local iteration index.
+    pub iteration: u64,
+    /// Completion time of the iteration (clock units from the epoch).
+    pub ts: u64,
+    /// Delta rows the iteration consumed.
+    pub rows_in: u64,
+    /// Rows it produced (local merges + remote sends).
+    pub rows_out: u64,
+    /// Inbound queue depth (batches) at the boundary.
+    pub queue_depth: u64,
+    /// The controller's ω estimate in force (0 outside DWS).
+    pub omega: u64,
+    /// The controller's τ estimate in force, clock units (0 outside DWS).
+    pub tau: u64,
+}
+
+/// Folds traces into the per-iteration time-series: each
+/// [`Mark::Iteration`] instant becomes a row, annotated with the most
+/// recent [`Mark::DwsDecision`] of the same worker. Rows are ordered by
+/// `(ts, worker)` so the table reads as one global timeline.
+pub fn iteration_series(traces: &[WorkerTrace]) -> Vec<IterationPoint> {
+    let mut out = Vec::new();
+    for tr in traces {
+        let (mut omega, mut tau) = (0u64, 0u64);
+        for ev in &tr.events {
+            match ev.kind {
+                EventKind::Instant(Mark::DwsDecision) => {
+                    omega = ev.a;
+                    tau = ev.b;
+                }
+                EventKind::Instant(Mark::Iteration) => out.push(IterationPoint {
+                    worker: tr.worker,
+                    iteration: ev.iteration,
+                    ts: ev.ts,
+                    rows_in: ev.a,
+                    rows_out: ev.b,
+                    queue_depth: ev.c,
+                    omega,
+                    tau,
+                }),
+                _ => {}
+            }
+        }
+    }
+    out.sort_by_key(|p| (p.ts, p.worker));
+    out
+}
+
+/// Serializes traces as a Chrome trace-event JSON document that Perfetto
+/// loads directly: one `tid` per worker plus `tid = workers` for the DWS
+/// controller track (every [`Mark::DwsDecision`] lands there, annotated
+/// with the deciding worker). Timestamps are exported in microseconds
+/// (the format's unit) from the clock in `meta`; one simulator tick maps
+/// to one microsecond so abstract schedules render at a readable scale.
+pub fn chrome_trace_json(traces: &[WorkerTrace], meta: &TraceMeta) -> String {
+    let pid = 1;
+    let controller_tid = meta.workers;
+    // ns → µs with fractional part; ticks map 1:1 to µs.
+    let scale = |v: u64| -> String {
+        if meta.clock == "ns" {
+            format!("{:.3}", v as f64 / 1000.0)
+        } else {
+            format!("{v}")
+        }
+    };
+    let mut events: Vec<String> = Vec::new();
+    events.push(format!(
+        r#"{{"name":"process_name","ph":"M","pid":{pid},"tid":0,"args":{{"name":"dcdatalog {} ({} clock)"}}}}"#,
+        meta.strategy, meta.clock
+    ));
+    for w in 0..meta.workers {
+        events.push(format!(
+            r#"{{"name":"thread_name","ph":"M","pid":{pid},"tid":{w},"args":{{"name":"worker {w}"}}}}"#
+        ));
+    }
+    events.push(format!(
+        r#"{{"name":"thread_name","ph":"M","pid":{pid},"tid":{controller_tid},"args":{{"name":"dws-controller"}}}}"#
+    ));
+    let mut total_dropped = 0u64;
+    for tr in traces {
+        total_dropped += tr.dropped;
+        let tid = tr.worker;
+        for ev in &tr.events {
+            match ev.kind {
+                EventKind::Span(phase) => events.push(format!(
+                    r#"{{"name":"{}","cat":"phase","ph":"X","pid":{pid},"tid":{tid},"ts":{},"dur":{},"args":{{"iteration":{},"a":{},"b":{},"c":{}}}}}"#,
+                    phase.name(),
+                    scale(ev.ts),
+                    scale(ev.dur),
+                    ev.iteration,
+                    ev.a,
+                    ev.b,
+                    ev.c
+                )),
+                EventKind::Instant(Mark::DwsDecision) => events.push(format!(
+                    r#"{{"name":"dws-decision","cat":"controller","ph":"i","s":"t","pid":{pid},"tid":{controller_tid},"ts":{},"dur":0,"args":{{"worker":{tid},"iteration":{},"omega":{},"tau":{},"delta_len":{}}}}}"#,
+                    scale(ev.ts),
+                    ev.iteration,
+                    ev.a,
+                    ev.b,
+                    ev.c
+                )),
+                EventKind::Instant(mark) => events.push(format!(
+                    r#"{{"name":"{}","cat":"mark","ph":"i","s":"t","pid":{pid},"tid":{tid},"ts":{},"dur":0,"args":{{"iteration":{},"a":{},"b":{},"c":{}}}}}"#,
+                    mark.name(),
+                    scale(ev.ts),
+                    ev.iteration,
+                    ev.a,
+                    ev.b,
+                    ev.c
+                )),
+            }
+        }
+    }
+    format!(
+        "{{\n\"schema\": {},\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {{\"strategy\": \"{}\", \"clock\": \"{}\", \"workers\": {}, \"dropped_events\": {}}},\n\"traceEvents\": [\n{}\n]\n}}\n",
+        TRACE_SCHEMA,
+        meta.strategy,
+        meta.clock,
+        meta.workers,
+        total_dropped,
+        events.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn span_ev(phase: Phase, ts: u64, dur: u64) -> TraceEvent {
+        TraceEvent {
+            kind: EventKind::Span(phase),
+            ts,
+            dur,
+            iteration: 0,
+            a: 0,
+            b: 0,
+            c: 0,
+        }
+    }
+
+    #[test]
+    fn records_spans_and_instants_in_run_relative_time() {
+        let epoch = Instant::now();
+        let t = Tracer::new(128, epoch);
+        assert!(t.is_enabled());
+        let started = Instant::now();
+        std::thread::sleep(Duration::from_millis(2));
+        t.span(Phase::Gather, started, 3);
+        t.instant(Mark::Iteration, 3, 10, 4, 1);
+        let tr = t.take(0);
+        assert_eq!(tr.events.len(), 2);
+        let g = &tr.events[0];
+        assert_eq!(g.kind, EventKind::Span(Phase::Gather));
+        assert!(g.dur >= 1_000_000, "span of a 2ms sleep, got {}ns", g.dur);
+        assert_eq!(g.iteration, 3);
+        let i = &tr.events[1];
+        assert_eq!(i.kind, EventKind::Instant(Mark::Iteration));
+        assert_eq!((i.a, i.b, i.c), (10, 4, 1));
+        assert!(i.ts >= g.end(), "instant stamped after the span ended");
+    }
+
+    #[test]
+    fn overflow_keeps_prefix_and_counts_drops() {
+        // Satellite: a tiny ring must keep its first `cap` events and
+        // report exactly how many later ones were discarded.
+        let t = Tracer::new(4, Instant::now());
+        for i in 0..10u64 {
+            t.instant(Mark::Iteration, i, i, 0, 0);
+        }
+        assert_eq!(t.dropped(), 6);
+        let tr = t.take(7);
+        assert_eq!(tr.worker, 7);
+        assert_eq!(tr.events.len(), 4, "first four kept");
+        assert_eq!(tr.dropped, 6);
+        let iters: Vec<u64> = tr.events.iter().map(|e| e.iteration).collect();
+        assert_eq!(iters, vec![0, 1, 2, 3], "coherent prefix, not a ring tail");
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled(Instant::now());
+        assert!(!t.is_enabled());
+        t.span(Phase::EvalDelta, Instant::now(), 1);
+        t.instant(Mark::Iteration, 1, 0, 0, 0);
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+        assert!(t.take(0).events.is_empty());
+    }
+
+    #[test]
+    fn span_coverage_merges_nested_intervals() {
+        let tr = WorkerTrace {
+            worker: 0,
+            // Top-level [0,10] and [10,20]; [2,5] is nested in the first.
+            events: vec![
+                span_ev(Phase::Merge, 2, 3),
+                span_ev(Phase::Gather, 0, 10),
+                span_ev(Phase::EvalDelta, 10, 10),
+            ],
+            dropped: 0,
+        };
+        assert!((tr.span_coverage() - 1.0).abs() < 1e-12);
+        let gap = WorkerTrace {
+            worker: 0,
+            events: vec![span_ev(Phase::Gather, 0, 5), span_ev(Phase::Idle, 15, 5)],
+            dropped: 0,
+        };
+        assert!((gap.span_coverage() - 0.5).abs() < 1e-12);
+        assert_eq!(WorkerTrace::default().span_coverage(), 0.0);
+    }
+
+    #[test]
+    fn iteration_series_joins_decisions_to_iterations() {
+        let mk = |mark: Mark, ts: u64, it: u64, a: u64, b: u64, c: u64| TraceEvent {
+            kind: EventKind::Instant(mark),
+            ts,
+            dur: 0,
+            iteration: it,
+            a,
+            b,
+            c,
+        };
+        let traces = vec![
+            WorkerTrace {
+                worker: 0,
+                events: vec![
+                    mk(Mark::Iteration, 5, 1, 10, 3, 0),
+                    mk(Mark::DwsDecision, 6, 1, 8, 1000, 4),
+                    mk(Mark::Iteration, 9, 2, 4, 0, 2),
+                ],
+                dropped: 0,
+            },
+            WorkerTrace {
+                worker: 1,
+                events: vec![mk(Mark::Iteration, 7, 1, 2, 2, 1)],
+                dropped: 0,
+            },
+        ];
+        let series = iteration_series(&traces);
+        assert_eq!(series.len(), 3);
+        // Ordered by ts: w0/it1, w1/it1, w0/it2.
+        assert_eq!((series[0].worker, series[0].iteration), (0, 1));
+        assert_eq!((series[0].omega, series[0].tau), (0, 0), "no decision yet");
+        assert_eq!((series[1].worker, series[1].rows_in), (1, 2));
+        assert_eq!((series[2].omega, series[2].tau), (8, 1000));
+        assert_eq!(series[2].queue_depth, 2);
+    }
+
+    #[test]
+    fn chrome_export_has_worker_and_controller_tracks() {
+        let t = Tracer::new(16, Instant::now());
+        t.span(Phase::Gather, Instant::now(), 1);
+        t.instant(Mark::DwsDecision, 1, 8, 500, 3);
+        t.instant(Mark::Iteration, 1, 10, 2, 0);
+        let traces = vec![t.take(0)];
+        let meta = TraceMeta {
+            strategy: "DWS".into(),
+            workers: 2,
+            clock: "ns",
+        };
+        let json = chrome_trace_json(&traces, &meta);
+        assert!(json.contains("\"schema\": 1"), "{json}");
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains(r#""name":"worker 0""#));
+        assert!(json.contains(r#""name":"worker 1""#));
+        assert!(json.contains(r#""name":"dws-controller""#));
+        // The decision lands on the controller track (tid == workers).
+        assert!(json.contains(
+            r#""name":"dws-decision","cat":"controller","ph":"i","s":"t","pid":1,"tid":2"#
+        ));
+        assert!(json.contains(r#""name":"Gather","cat":"phase","ph":"X""#));
+        assert!(json.contains(r#""dropped_events": 0"#));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn tick_clock_exports_integral_timestamps() {
+        let traces = vec![WorkerTrace {
+            worker: 0,
+            events: vec![span_ev(Phase::EvalDelta, 7, 3)],
+            dropped: 0,
+        }];
+        let meta = TraceMeta {
+            strategy: "Global".into(),
+            workers: 1,
+            clock: "ticks",
+        };
+        let json = chrome_trace_json(&traces, &meta);
+        assert!(json.contains(r#""ts":7,"dur":3"#), "{json}");
+        assert!(json.contains(r#""clock": "ticks""#));
+    }
+
+    #[test]
+    fn tracer_is_shareable_across_threads() {
+        let t = Tracer::new(1 << 12, Instant::now());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..100 {
+                        t.instant(Mark::Iteration, i, 0, 0, 0);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), 400);
+    }
+}

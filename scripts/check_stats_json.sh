@@ -45,12 +45,19 @@ for strategy in global ssp:2 dws; do
                  backpressure_retries idle_ns omega_wait_ns gather_ns \
                  iterate_ns distribute_ns cache_hits cache_misses \
                  probe_hits probe_reuse kernel_batches kernel_rows \
-                 rows_per_batch samples_dropped dws_samples; do
+                 rows_per_batch samples_dropped dws_samples \
+                 dropped_events iteration_series; do
         if ! grep -q "\"$field\"" "$out"; then
             echo "FAIL($strategy): field \"$field\" missing from $out" >&2
             fail=1
         fi
     done
+
+    # -- Schema version (4 = trace-aware report) -------------------------
+    if ! grep -q '"schema": 4' "$out"; then
+        echo "FAIL($strategy): report schema is not 4 in $out" >&2
+        fail=1
+    fi
 
     # -- Per-worker cardinality ------------------------------------------
     nworkers=$(grep -c '"worker":' "$out")

@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# Trace smoke check (see DESIGN.md §9): runs TC on 4 workers under DWS
+# with `--trace-json` + `--stats-json`, plus the deterministic simulator
+# with `--trace-json`, then validates both Chrome/Perfetto exports with
+# no JSON tooling beyond grep/awk:
+#
+#   1. schema stamp, otherData (strategy/clock/workers/dropped_events)
+#      and the traceEvents array are present,
+#   2. one thread_name metadata track per worker plus the dws-controller
+#      track,
+#   3. phase spans (ph:"X") and instant marks (ph:"i") both occur and
+#      carry the required name/ph/pid/tid/ts fields,
+#   4. braces/brackets balance (cheap well-formedness; full parsing is
+#      covered by the dcd-common JSON parser in the trace_e2e tests),
+#   5. the engine export uses the ns clock, the simulator the tick
+#      clock — same schema, comparable side by side,
+#   6. the schema-4 stats JSON of the traced run carries a non-empty
+#      iteration_series table.
+#
+# Run from anywhere inside the repo: scripts/check_trace_smoke.sh
+# Pass a prebuilt binary path as $1 to skip the cargo build.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN="${1:-}"
+if [ -z "$BIN" ]; then
+    export CARGO_NET_OFFLINE=true
+    cargo build --release -p dcd-cli >&2
+    BIN=target/release/dcdatalog
+fi
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+awk 'BEGIN { for (i = 0; i < 120; i++) print i % 40, (i * 7 + 1) % 40 }' \
+    > "$workdir/edges.csv"
+
+"$BIN" run programs/tc.dl \
+    --edb arc="$workdir/edges.csv" \
+    --workers 4 --strategy dws --limit 1 \
+    --stats-json "$workdir/stats.json" \
+    --trace-json "$workdir/trace.json" > /dev/null
+
+"$BIN" simulate --strategy dws --trace-json "$workdir/sim.json" > /dev/null
+
+fail=0
+check_trace() {
+    local out="$1" clock="$2" label="$3"
+    for field in '"schema": 1' '"displayTimeUnit"' '"otherData"' \
+                 '"strategy"' '"workers"' '"dropped_events"' \
+                 '"traceEvents"' '"ph":"X"' '"ph":"i"' \
+                 '"name"' '"pid"' '"tid"' '"ts"' '"dur"'; do
+        if ! grep -q "$field" "$out"; then
+            echo "FAIL($label): $field missing from $out" >&2
+            fail=1
+        fi
+    done
+    if ! grep -q "\"clock\": \"$clock\"" "$out"; then
+        echo "FAIL($label): clock is not \"$clock\"" >&2
+        fail=1
+    fi
+    local nworkers w
+    nworkers=$(grep -o '"workers": [0-9]*' "$out" | awk '{print $2}')
+    if [ -z "$nworkers" ] || [ "$nworkers" -lt 1 ]; then
+        echo "FAIL($label): otherData.workers missing" >&2
+        fail=1
+        nworkers=0
+    fi
+    w=0
+    while [ "$w" -lt "$nworkers" ]; do
+        if ! grep -q "\"name\":\"worker $w\"" "$out"; then
+            echo "FAIL($label): missing worker $w track" >&2
+            fail=1
+        fi
+        w=$((w + 1))
+    done
+    if ! grep -q '"name":"dws-controller"' "$out"; then
+        echo "FAIL($label): missing dws-controller track" >&2
+        fail=1
+    fi
+    local opens closes
+    opens=$(grep -o '{' "$out" | wc -l)
+    closes=$(grep -o '}' "$out" | wc -l)
+    if [ "$opens" -ne "$closes" ]; then
+        echo "FAIL($label): unbalanced braces ($opens vs $closes)" >&2
+        fail=1
+    fi
+    opens=$(grep -o '\[' "$out" | wc -l)
+    closes=$(grep -o '\]' "$out" | wc -l)
+    if [ "$opens" -ne "$closes" ]; then
+        echo "FAIL($label): unbalanced brackets ($opens vs $closes)" >&2
+        fail=1
+    fi
+    echo "ok($label): $(grep -c '"ph":"X"' "$out") spans," \
+         "$(grep -c '"ph":"i"' "$out") instants, clock=$clock"
+}
+
+check_trace "$workdir/trace.json" ns engine
+check_trace "$workdir/sim.json" ticks simulator
+
+# -- The traced run's stats JSON carries the iteration table -------------
+if ! grep -q '"iteration_series": \[$' "$workdir/stats.json"; then
+    echo 'FAIL(stats): traced run has an empty/missing iteration_series' >&2
+    fail=1
+fi
+for col in rows_in rows_out queue_depth omega tau; do
+    if ! grep -q "\"$col\"" "$workdir/stats.json"; then
+        echo "FAIL(stats): iteration_series column \"$col\" missing" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "trace smoke FAILED" >&2
+    exit 1
+fi
+echo "trace smoke OK: engine and simulator exports share the schema"
